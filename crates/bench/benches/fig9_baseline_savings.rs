@@ -1,0 +1,61 @@
+//! Figure 9 — area and power savings of the scalable approximate
+//! multipliers (ETM \[20\], Kulkarni \[8\], proposed SDLC d=2) versus the
+//! accurate multiplier, at 4, 8 and 16 bits.
+//!
+//! The paper's key claim: "our approach produces better results as the
+//! bit-width of the multiplier is increased … with the 16-bit multiplier,
+//! our approach outperforms both approaches in terms of power and area."
+
+use sdlc_bench::{banner, timed};
+use sdlc_core::circuits::{
+    accurate_multiplier, etm_multiplier, kulkarni_multiplier, sdlc_multiplier, ReductionScheme,
+};
+use sdlc_core::SdlcMultiplier;
+use sdlc_synth::{analyze, AnalysisOptions, AnalysisReport};
+use sdlc_techlib::Library;
+
+fn main() {
+    banner(
+        "Figure 9: area & power savings — ETM vs Kulkarni vs proposed",
+        "Qiqieh et al., DATE'17, Figure 9",
+    );
+    let lib = Library::generic_90nm();
+    let scheme = ReductionScheme::RippleRows;
+    println!(
+        "{:>7} | {:>20} | {:>20} | {:>20}",
+        "width", "ETM (area/power)", "Kulkarni (area/power)", "SDLC (area/power)"
+    );
+    let mut last: Option<[(f64, f64); 3]> = None;
+    for width in [4u32, 8, 16] {
+        let options = AnalysisOptions::default();
+        let exact = analyze(accurate_multiplier(width, scheme).expect("valid"), &lib, &options);
+        let row = timed(&format!("{width}-bit flows"), || {
+            let etm = analyze(etm_multiplier(width, scheme).expect("valid"), &lib, &options);
+            let kulkarni =
+                analyze(kulkarni_multiplier(width, scheme).expect("valid"), &lib, &options);
+            let model = SdlcMultiplier::new(width, 2).expect("valid");
+            let sdlc = analyze(sdlc_multiplier(&model, scheme), &lib, &options);
+            let pair = |r: &AnalysisReport| {
+                let s = r.reduction_vs(&exact);
+                (s.area * 100.0, s.dynamic_power * 100.0)
+            };
+            [pair(&etm), pair(&kulkarni), pair(&sdlc)]
+        });
+        println!(
+            "{width:4}-bit | {:7.1}% / {:7.1}% | {:7.1}% / {:7.1}% | {:7.1}% / {:7.1}%",
+            row[0].0, row[0].1, row[1].0, row[1].1, row[2].0, row[2].1,
+        );
+        last = Some(row);
+    }
+    let row16 = last.expect("16-bit row");
+    println!();
+    println!(
+        "16-bit check — SDLC power beats ETM: {}, beats Kulkarni: {}",
+        row16[2].1 > row16[0].1,
+        row16[2].1 > row16[1].1,
+    );
+    println!(
+        "(ETM's area lead is structural — it deletes ¾ of the multiplier array \
+         outright and pays in MRED ≈ 25%; Table IV shows the accuracy cost.)"
+    );
+}

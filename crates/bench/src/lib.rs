@@ -1,0 +1,85 @@
+//! Shared plumbing for the experiment harnesses.
+//!
+//! Each bench target under `benches/` regenerates one table or figure of
+//! the paper and prints measured-vs-published rows. Environment knobs:
+//!
+//! * `SDLC_FAST=1` — shrink the expensive sweeps (skip 128-bit synthesis,
+//!   fewer activity vectors) for quick smoke runs;
+//! * `SDLC_FULL=1` — run the genuinely exhaustive 16-bit error sweep
+//!   (2³² operand pairs) instead of the default 2²⁶ Monte-Carlo sample.
+
+use std::time::Instant;
+
+/// True when `SDLC_FAST=1` (quick smoke mode).
+#[must_use]
+pub fn fast_mode() -> bool {
+    std::env::var_os("SDLC_FAST").is_some_and(|v| v == "1")
+}
+
+/// True when `SDLC_FULL=1` (exhaustive 16-bit sweeps).
+#[must_use]
+pub fn full_mode() -> bool {
+    std::env::var_os("SDLC_FULL").is_some_and(|v| v == "1")
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(experiment: &str, paper_ref: &str) {
+    println!("================================================================");
+    println!("{experiment}");
+    println!("reproduces: {paper_ref}");
+    println!("================================================================");
+}
+
+/// Runs `f`, printing its wall time afterwards.
+pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let result = f();
+    println!("[{label}: {:.1}s]", start.elapsed().as_secs_f64());
+    result
+}
+
+/// Formats a measured-vs-paper pair with relative deviation.
+#[must_use]
+pub fn vs(measured: f64, paper: f64) -> String {
+    if paper == 0.0 {
+        return format!("{measured:8.4} (paper -)");
+    }
+    let dev = (measured - paper) / paper * 100.0;
+    format!("{measured:8.4} (paper {paper:8.4}, {dev:+5.1}%)")
+}
+
+/// A simple ASCII bar for distribution plots, `width` characters at 100 %.
+#[must_use]
+pub fn bar(fraction: f64, width: usize) -> String {
+    let filled = (fraction.clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut out = String::with_capacity(width);
+    for i in 0..width {
+        out.push(if i < filled { '#' } else { ' ' });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vs_formats_deviation() {
+        let s = vs(50.0, 40.0);
+        assert!(s.contains("+25.0%"), "{s}");
+        assert!(vs(1.0, 0.0).contains("paper -"));
+    }
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(1.0, 4), "####");
+        assert_eq!(bar(0.0, 4), "    ");
+        assert_eq!(bar(0.5, 4), "##  ");
+        assert_eq!(bar(2.0, 3), "###"); // clamped
+    }
+
+    #[test]
+    fn timed_passes_value_through() {
+        assert_eq!(timed("t", || 42), 42);
+    }
+}

@@ -1,0 +1,201 @@
+//! Error-tolerant multiplier, ETM (paper's ref. \[20\]: Kyaw, Goh, Yeo,
+//! EDSSC 2010).
+//!
+//! ETM splits each operand at the half: the *multiplication part* handles
+//! the MSB halves with an exact `N/2 × N/2` multiplier; the
+//! *non-multiplication part* approximates the LSB halves with an OR chain.
+//! A zero detector steers the single exact multiplier:
+//!
+//! * `AH = 0 ∧ BH = 0` → product = exact `AL × BL` (the multiplier is
+//!   borrowed for the low halves — no error);
+//! * otherwise → product = `(AH × BH) << N` plus the non-multiplication
+//!   estimate of the low part; the `AH×BL`/`AL×BH` cross terms are simply
+//!   dropped.
+//!
+//! The non-multiplication part scans the low halves from their MSB down:
+//! until the first position where both operands have a `1`, the output bit
+//! is `a_i ∨ b_i`; from that position on, every output bit is `1`. The
+//! resulting `N/2`-bit pattern is the low part of the output.
+//!
+//! **Reproduction note.** The ETM paper is not available in this offline
+//! environment, and the placement of the non-multiplication pattern within
+//! the 2N-bit product is the one under-specified choice. We evaluated the
+//! candidate placements exhaustively against the error metrics the SDLC
+//! paper quotes for ETM in Table IV; placing the pattern at the product
+//! LSBs (bits `N/2−1..0`) matches best (our MRED 24.6 % / NMED 2.84 % /
+//! ER 99.2 % vs the quoted 25.2 % / 2.8 % / 98.8 %), while shifting it to
+//! bit `N/2` yields MRED ≈ 20 %. The `table4` fingerprint test pins this
+//! choice.
+
+use sdlc_wideint::U256;
+
+use crate::multiplier::{check_operand, check_width, Multiplier, SpecError};
+
+/// The ETM approximate multiplier (width even, `2..=128`).
+///
+/// # Examples
+///
+/// ```
+/// use sdlc_core::{baselines::EtmMultiplier, Multiplier};
+///
+/// let m = EtmMultiplier::new(8)?;
+/// assert_eq!(m.multiply_u64(7, 9), 63);      // high halves zero → exact
+/// assert!(m.multiply_u64(0x77, 0x99) != 0x77 * 0x99); // cross terms dropped
+/// # Ok::<(), sdlc_core::SpecError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EtmMultiplier {
+    width: u32,
+}
+
+impl EtmMultiplier {
+    /// Creates an `width × width` ETM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] if the width is odd or outside `2..=128`.
+    pub fn new(width: u32) -> Result<Self, SpecError> {
+        Ok(Self { width: check_width(width)? })
+    }
+
+    /// The non-multiplication OR/ones chain over the low halves
+    /// (`half`-bit inputs → `half`-bit output).
+    fn non_multiplication(half: u32, al: u128, bl: u128) -> u128 {
+        let mut out = 0u128;
+        for i in (0..half).rev() {
+            let a_i = (al >> i) & 1;
+            let b_i = (bl >> i) & 1;
+            if a_i & b_i == 1 {
+                // First collision: this and all lower bits become 1.
+                out |= (1u128 << (i + 1)) - 1;
+                break;
+            }
+            out |= (a_i | b_i) << i;
+        }
+        out
+    }
+}
+
+impl Multiplier for EtmMultiplier {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn name(&self) -> String {
+        format!("etm{}", self.width)
+    }
+
+    fn multiply(&self, a: u128, b: u128) -> U256 {
+        check_operand(self.width, a, "left");
+        check_operand(self.width, b, "right");
+        let half = self.width / 2;
+        let mask = (1u128 << half) - 1;
+        let (al, ah) = (a & mask, a >> half);
+        let (bl, bh) = (b & mask, b >> half);
+        if ah == 0 && bh == 0 {
+            return U256::from_u128(al).wrapping_mul(&U256::from_u128(bl));
+        }
+        let high = U256::from_u128(ah).wrapping_mul(&U256::from_u128(bh)) << self.width;
+        let low = U256::from_u128(Self::non_multiplication(half, al, bl));
+        high.wrapping_add(&low)
+    }
+
+    fn multiply_u64(&self, a: u64, b: u64) -> u128 {
+        assert!(self.width <= 32, "multiply_u64 supports widths up to 32 bits");
+        check_operand(self.width, u128::from(a), "left");
+        check_operand(self.width, u128::from(b), "right");
+        let half = self.width / 2;
+        let mask = (1u64 << half) - 1;
+        let (al, ah) = (a & mask, a >> half);
+        let (bl, bh) = (b & mask, b >> half);
+        if ah == 0 && bh == 0 {
+            return u128::from(al) * u128::from(bl);
+        }
+        let high = (u128::from(ah) * u128::from(bh)) << self.width;
+        let low = Self::non_multiplication(half, u128::from(al), u128::from(bl));
+        high + low
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_half_inputs_are_exact() {
+        let m = EtmMultiplier::new(8).unwrap();
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                assert_eq!(m.multiply_u64(a, b), u128::from(a * b));
+            }
+        }
+    }
+
+    #[test]
+    fn non_multiplication_chain_examples() {
+        // No collision: plain OR.
+        assert_eq!(EtmMultiplier::non_multiplication(4, 0b1010, 0b0100), 0b1110);
+        // Collision at bit 3: everything below becomes ones.
+        assert_eq!(EtmMultiplier::non_multiplication(4, 0b1000, 0b1000), 0b1111);
+        // Collision at bit 1 after OR bits above.
+        assert_eq!(EtmMultiplier::non_multiplication(4, 0b0110, 0b1010), 0b1111);
+        // Zero inputs.
+        assert_eq!(EtmMultiplier::non_multiplication(4, 0, 0), 0);
+    }
+
+    #[test]
+    fn high_product_always_present_when_high_halves_nonzero() {
+        let m = EtmMultiplier::new(8).unwrap();
+        let p = m.multiply_u64(0xF0, 0xF0);
+        assert_eq!(p >> 8, 15 * 15, "AH×BH lands at bit 8");
+    }
+
+    #[test]
+    fn almost_always_wrong_with_nonzero_high_halves() {
+        let m = EtmMultiplier::new(8).unwrap();
+        let mut wrong = 0u32;
+        let mut total = 0u32;
+        for a in 0..256u64 {
+            for b in 0..256u64 {
+                if (a >> 4) != 0 || (b >> 4) != 0 {
+                    total += 1;
+                    if m.multiply_u64(a, b) != u128::from(a * b) {
+                        wrong += 1;
+                    }
+                }
+            }
+        }
+        assert!(f64::from(wrong) / f64::from(total) > 0.98);
+    }
+
+    #[test]
+    fn wide_path_matches_fast_path() {
+        let m = EtmMultiplier::new(12).unwrap();
+        let mut rng = sdlc_wideint::SplitMix64::new(20);
+        for _ in 0..2000 {
+            let a = rng.next_bits(12);
+            let b = rng.next_bits(12);
+            assert_eq!(
+                U256::from_u128(m.multiply_u64(a, b)),
+                m.multiply(u128::from(a), u128::from(b))
+            );
+        }
+    }
+
+    #[test]
+    fn supports_wide_widths() {
+        let m = EtmMultiplier::new(64).unwrap();
+        let exact = U256::from_u128(u64::MAX.into()).wrapping_mul(&U256::from_u128(u64::MAX.into()));
+        let p = m.multiply(u128::from(u64::MAX), u128::from(u64::MAX));
+        // ETM both over- and under-estimates; just confirm magnitude sanity.
+        assert!(p >> 64 > U256::ZERO);
+        assert!(p < exact << 1);
+    }
+
+    #[test]
+    fn validates_width() {
+        assert!(EtmMultiplier::new(7).is_err());
+        assert!(EtmMultiplier::new(8).is_ok());
+        assert_eq!(EtmMultiplier::new(8).unwrap().name(), "etm8");
+    }
+}

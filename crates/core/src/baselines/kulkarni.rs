@@ -1,0 +1,190 @@
+//! Kulkarni/Gupta/Ercegovac underdesigned multiplier (paper's ref. \[8\]).
+//!
+//! The building block is a 2×2 multiplier that is exact on 15 of the 16
+//! input pairs and encodes `3 × 3` as `111₂ = 7` instead of `1001₂ = 9`,
+//! which lets the block emit 3 output bits instead of 4:
+//!
+//! ```text
+//! o2 = a1·b1      o1 = a1·b0 + a0·b1 (OR)      o0 = a0·b0
+//! ```
+//!
+//! Larger multipliers compose four half-width instances recursively with
+//! exact shift-adds:
+//! `P = HH·2^N + (HL + LH)·2^{N/2} + LL`.
+
+use sdlc_wideint::U256;
+
+use crate::multiplier::{check_operand, Multiplier, SpecError};
+
+/// The recursive Kulkarni multiplier; width must be a power of two ≥ 2.
+///
+/// # Examples
+///
+/// ```
+/// use sdlc_core::{baselines::KulkarniMultiplier, Multiplier};
+///
+/// let m = KulkarniMultiplier::new(8)?;
+/// assert_eq!(m.multiply_u64(100, 200), 20_000);   // no 3×3 sub-block hit
+/// assert_eq!(m.multiply_u64(3, 3), 7);            // the designed error
+/// # Ok::<(), sdlc_core::SpecError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KulkarniMultiplier {
+    width: u32,
+}
+
+impl KulkarniMultiplier {
+    /// Creates a `width × width` underdesigned multiplier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] unless `width` is a power of two in `2..=128`.
+    pub fn new(width: u32) -> Result<Self, SpecError> {
+        if !(2..=128).contains(&width) || !width.is_power_of_two() {
+            return Err(SpecError::Width {
+                width,
+                requirement: "must be a power of two in 2..=128 (recursive composition)",
+            });
+        }
+        Ok(Self { width })
+    }
+
+    /// The inaccurate 2×2 block (operands in `0..4`).
+    fn block2(a: u64, b: u64) -> u64 {
+        let (a0, a1) = (a & 1, (a >> 1) & 1);
+        let (b0, b1) = (b & 1, (b >> 1) & 1);
+        (a1 & b1) << 2 | ((a1 & b0) | (a0 & b1)) << 1 | (a0 & b0)
+    }
+
+    fn recurse_u64(width: u32, a: u64, b: u64) -> u128 {
+        if width == 2 {
+            return u128::from(Self::block2(a, b));
+        }
+        let half = width / 2;
+        let mask = (1u64 << half) - 1;
+        let (al, ah) = (a & mask, a >> half);
+        let (bl, bh) = (b & mask, b >> half);
+        let ll = Self::recurse_u64(half, al, bl);
+        let lh = Self::recurse_u64(half, al, bh);
+        let hl = Self::recurse_u64(half, ah, bl);
+        let hh = Self::recurse_u64(half, ah, bh);
+        (hh << width) + ((hl + lh) << half) + ll
+    }
+
+    fn recurse_wide(width: u32, a: u128, b: u128) -> U256 {
+        if width <= 32 {
+            return U256::from_u128(Self::recurse_u64(width, a as u64, b as u64));
+        }
+        let half = width / 2;
+        let mask = (1u128 << half) - 1;
+        let (al, ah) = (a & mask, a >> half);
+        let (bl, bh) = (b & mask, b >> half);
+        let ll = Self::recurse_wide(half, al, bl);
+        let lh = Self::recurse_wide(half, al, bh);
+        let hl = Self::recurse_wide(half, ah, bl);
+        let hh = Self::recurse_wide(half, ah, bh);
+        (hh << width).wrapping_add(&(hl.wrapping_add(&lh) << half)).wrapping_add(&ll)
+    }
+}
+
+impl Multiplier for KulkarniMultiplier {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn name(&self) -> String {
+        format!("kulkarni{}", self.width)
+    }
+
+    fn multiply(&self, a: u128, b: u128) -> U256 {
+        check_operand(self.width, a, "left");
+        check_operand(self.width, b, "right");
+        Self::recurse_wide(self.width, a, b)
+    }
+
+    fn multiply_u64(&self, a: u64, b: u64) -> u128 {
+        assert!(self.width <= 32, "multiply_u64 supports widths up to 32 bits");
+        check_operand(self.width, u128::from(a), "left");
+        check_operand(self.width, u128::from(b), "right");
+        Self::recurse_u64(self.width, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_truth_table() {
+        for a in 0..4u64 {
+            for b in 0..4u64 {
+                let expect = if a == 3 && b == 3 { 7 } else { a * b };
+                assert_eq!(KulkarniMultiplier::block2(a, b), expect, "{a}×{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn error_cases_are_exactly_those_containing_3x3_subproducts() {
+        // A product is wrong iff some recursive 2×2 sub-multiplication sees
+        // (3, 3); spot-check the 4-bit exhaustive error set.
+        let m = KulkarniMultiplier::new(4).unwrap();
+        let mut wrong = 0;
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                if m.multiply_u64(a, b) != u128::from(a * b) {
+                    wrong += 1;
+                }
+            }
+        }
+        // A product errs iff both operands contain a `11` 2-bit chunk:
+        // (1 − (3/4)²)² · 256 = (7/16)² · 256 = 49.
+        assert_eq!(wrong, 49);
+    }
+
+    #[test]
+    fn never_overestimates() {
+        let m = KulkarniMultiplier::new(8).unwrap();
+        for a in 0..256u64 {
+            for b in 0..256u64 {
+                assert!(m.multiply_u64(a, b) <= u128::from(a * b));
+            }
+        }
+    }
+
+    #[test]
+    fn wide_path_matches_fast_path() {
+        let m = KulkarniMultiplier::new(16).unwrap();
+        let mut rng = sdlc_wideint::SplitMix64::new(8);
+        for _ in 0..2000 {
+            let a = rng.next_bits(16);
+            let b = rng.next_bits(16);
+            assert_eq!(U256::from_u128(m.multiply_u64(a, b)), m.multiply(u128::from(a), u128::from(b)));
+        }
+    }
+
+    #[test]
+    fn wide_widths_run() {
+        let m = KulkarniMultiplier::new(128).unwrap();
+        let p = m.multiply(u128::MAX, u128::MAX);
+        let exact = U256::from_u128(u128::MAX).wrapping_mul(&U256::from_u128(u128::MAX));
+        assert!(p <= exact);
+        assert!(p > exact >> 1, "error is bounded well below 2×");
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(KulkarniMultiplier::new(6).is_err());
+        assert!(KulkarniMultiplier::new(12).is_err());
+        assert!(KulkarniMultiplier::new(0).is_err());
+        assert!(KulkarniMultiplier::new(256).is_err());
+        assert!(KulkarniMultiplier::new(16).is_ok());
+    }
+
+    #[test]
+    fn name_and_width() {
+        let m = KulkarniMultiplier::new(8).unwrap();
+        assert_eq!(m.name(), "kulkarni8");
+        assert_eq!(m.width(), 8);
+    }
+}

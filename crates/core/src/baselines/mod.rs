@@ -1,0 +1,19 @@
+//! Comparison baselines from the paper's Section IV (Table IV, Figure 9).
+//!
+//! * [`KulkarniMultiplier`] — the "underdesigned" multiplier of Kulkarni,
+//!   Gupta & Ercegovac (VLSI Design 2011), the paper's reference \[8\]: an
+//!   inaccurate 2×2 block composed recursively into N×N.
+//! * [`EtmMultiplier`] — the error-tolerant multiplier of Kyaw, Goh & Yeo
+//!   (EDSSC 2010), the paper's reference \[20\]: exact multiplication of the
+//!   MSB halves steered by a zero-detector, with a "non-multiplication"
+//!   OR-chain approximating the LSB halves.
+//! * [`TruncatedMultiplier`] — plain column truncation (references \[6\]/\[7\]
+//!   territory), kept as an extra ablation axis.
+
+mod etm;
+mod kulkarni;
+mod truncated;
+
+pub use etm::EtmMultiplier;
+pub use kulkarni::KulkarniMultiplier;
+pub use truncated::TruncatedMultiplier;

@@ -1,0 +1,184 @@
+//! Plain truncated multiplier: partial products in the least significant
+//! columns are dropped (the paper's Table I category \[6\]/\[7\]).
+//!
+//! Dropping the `t` least significant *columns* of the partial-product
+//! matrix removes `t(t+1)/2` AND gates and the corresponding adder cells;
+//! the product is always an underestimate with worst-case error
+//! `Σ_{w<t} (w+1)·2^w`. This is the classic energy-accuracy knob that the
+//! SDLC paper positions itself against, so it earns a slot in the ablation
+//! benches.
+
+use sdlc_wideint::U256;
+
+use crate::multiplier::{check_operand, check_width, Multiplier, SpecError};
+
+/// A multiplier that ignores every partial product below a weight cutoff.
+///
+/// # Examples
+///
+/// ```
+/// use sdlc_core::{baselines::TruncatedMultiplier, Multiplier};
+///
+/// let m = TruncatedMultiplier::new(8, 4)?;
+/// // Partial products at weights 0..4 vanish.
+/// assert_eq!(m.multiply_u64(0b11110, 0b0001), 0b10000);
+/// assert_eq!(m.multiply_u64(0b1111, 0b0001), 0);
+/// # Ok::<(), sdlc_core::SpecError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruncatedMultiplier {
+    width: u32,
+    dropped_columns: u32,
+}
+
+impl TruncatedMultiplier {
+    /// Creates a multiplier that drops partial products at weights below
+    /// `dropped_columns`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] if the width is invalid or the truncation
+    /// covers the whole product (`dropped_columns > 2·width − 2`).
+    pub fn new(width: u32, dropped_columns: u32) -> Result<Self, SpecError> {
+        let width = check_width(width)?;
+        if dropped_columns > 2 * width - 2 {
+            return Err(SpecError::Depth {
+                depth: dropped_columns,
+                requirement: "truncation must leave at least one column",
+            });
+        }
+        Ok(Self { width, dropped_columns })
+    }
+
+    /// Number of truncated low columns.
+    #[must_use]
+    pub fn dropped_columns(&self) -> u32 {
+        self.dropped_columns
+    }
+
+    /// Number of AND gates removed by the truncation.
+    #[must_use]
+    pub fn removed_partial_products(&self) -> u32 {
+        // Column w < min(t, N) holds w+1 dots; for t > N the trapezoid caps.
+        (0..self.dropped_columns)
+            .map(|w| {
+                let full = w.min(2 * self.width - 2 - w);
+                full.min(self.width - 1) + 1
+            })
+            .sum()
+    }
+}
+
+impl Multiplier for TruncatedMultiplier {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn name(&self) -> String {
+        format!("trunc{}_c{}", self.width, self.dropped_columns)
+    }
+
+    fn multiply(&self, a: u128, b: u128) -> U256 {
+        check_operand(self.width, a, "left");
+        check_operand(self.width, b, "right");
+        let mut product = U256::ZERO;
+        for k in 0..self.width {
+            if (b >> k) & 1 == 0 {
+                continue;
+            }
+            // Keep only dots with j + k >= dropped_columns.
+            let min_j = self.dropped_columns.saturating_sub(k);
+            if min_j >= self.width {
+                continue;
+            }
+            let row = (a >> min_j) << min_j;
+            product = product.wrapping_add(&(U256::from_u128(row) << k));
+        }
+        product
+    }
+
+    fn multiply_u64(&self, a: u64, b: u64) -> u128 {
+        assert!(self.width <= 32, "multiply_u64 supports widths up to 32 bits");
+        check_operand(self.width, u128::from(a), "left");
+        check_operand(self.width, u128::from(b), "right");
+        let mut product: u128 = 0;
+        for k in 0..self.width {
+            if (b >> k) & 1 == 0 {
+                continue;
+            }
+            let min_j = self.dropped_columns.saturating_sub(k);
+            if min_j >= self.width {
+                continue;
+            }
+            let row = (a >> min_j) << min_j;
+            product += u128::from(row) << k;
+        }
+        product
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_truncation_is_exact() {
+        let m = TruncatedMultiplier::new(8, 0).unwrap();
+        for a in (0..256u64).step_by(7) {
+            for b in 0..256u64 {
+                assert_eq!(m.multiply_u64(a, b), u128::from(a * b));
+            }
+        }
+    }
+
+    #[test]
+    fn always_underestimates_within_bound() {
+        let m = TruncatedMultiplier::new(8, 6) .unwrap();
+        // Worst case loss: all dots below weight 6 are ones.
+        let bound: u128 = (0..6u32).map(|w| u128::from(w + 1) << w).sum();
+        for a in 0..256u64 {
+            for b in 0..256u64 {
+                let exact = u128::from(a * b);
+                let approx = m.multiply_u64(a, b);
+                assert!(approx <= exact);
+                assert!(exact - approx <= bound, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn removed_partial_product_count() {
+        let m = TruncatedMultiplier::new(8, 4).unwrap();
+        // Columns 0..4 hold 1+2+3+4 dots.
+        assert_eq!(m.removed_partial_products(), 10);
+        assert_eq!(m.dropped_columns(), 4);
+        let deep = TruncatedMultiplier::new(8, 10).unwrap();
+        // Columns 0..8 hold 1..8 dots (36), columns 8,9 hold 7 and 6.
+        assert_eq!(deep.removed_partial_products(), 36 + 7 + 6);
+    }
+
+    #[test]
+    fn wide_path_matches_fast_path() {
+        let m = TruncatedMultiplier::new(16, 8).unwrap();
+        let mut rng = sdlc_wideint::SplitMix64::new(9);
+        for _ in 0..2000 {
+            let a = rng.next_bits(16);
+            let b = rng.next_bits(16);
+            assert_eq!(
+                U256::from_u128(m.multiply_u64(a, b)),
+                m.multiply(u128::from(a), u128::from(b))
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_total_truncation() {
+        assert!(TruncatedMultiplier::new(8, 15).is_err());
+        assert!(TruncatedMultiplier::new(8, 14).is_ok());
+    }
+
+    #[test]
+    fn name_encodes_configuration() {
+        assert_eq!(TruncatedMultiplier::new(8, 4).unwrap().name(), "trunc8_c4");
+    }
+}

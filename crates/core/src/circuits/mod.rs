@@ -1,0 +1,95 @@
+//! Gate-level circuit generators for every multiplier in the study.
+//!
+//! Each generator emits a [`sdlc_netlist::Netlist`] with the port
+//! convention `a`/`b` (N-bit little-endian inputs) and `p` (2N-bit
+//! product), ready for the `sdlc-synth` flow. The paper's accumulation
+//! scheme — row-wise ripple-carry addition — is the default; Wallace and
+//! Dadda trees are available for the ablation benches
+//! ([`ReductionScheme`]).
+//!
+//! Every generator is equivalence-checked against its functional model
+//! (exhaustively at small widths, sampled above) in this module's tests
+//! and in `tests/circuit_equivalence.rs`.
+
+mod accurate;
+mod etm;
+mod kulkarni;
+mod sdlc;
+
+pub use accurate::accurate_multiplier;
+pub use etm::etm_multiplier;
+pub use kulkarni::kulkarni_multiplier;
+pub use sdlc::{sdlc_multiplier, truncated_multiplier};
+
+/// How partial-product rows are accumulated into the final product.
+///
+/// The paper names all four: "any convenient scheme of multiplication,
+/// such as carry-save array, Wallace and Dadda tree" (Section II), with
+/// ripple rows used for its own measurements (Section IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReductionScheme {
+    /// Fold rows with ripple-carry adders — the paper's setting ("accurate
+    /// ripple adders were used in both accurate and approximate
+    /// multipliers").
+    #[default]
+    RippleRows,
+    /// Carry-save array: one 3:2 compressor layer per row into a redundant
+    /// sum/carry pair, final carry-propagate adder.
+    CarrySaveArray,
+    /// Wallace column compression (3:2 counters every layer), final ripple.
+    Wallace,
+    /// Dadda column compression (minimal counters per layer), final ripple.
+    Dadda,
+}
+
+impl ReductionScheme {
+    /// Short identifier used in design names and report rows.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ReductionScheme::RippleRows => "ripple",
+            ReductionScheme::CarrySaveArray => "csa",
+            ReductionScheme::Wallace => "wallace",
+            ReductionScheme::Dadda => "dadda",
+        }
+    }
+
+    /// All schemes, for sweeps.
+    #[must_use]
+    pub fn all() -> [ReductionScheme; 4] {
+        [
+            ReductionScheme::RippleRows,
+            ReductionScheme::CarrySaveArray,
+            ReductionScheme::Wallace,
+            ReductionScheme::Dadda,
+        ]
+    }
+
+    /// Accumulates rows with this scheme.
+    pub(crate) fn accumulate(
+        &self,
+        netlist: &mut sdlc_netlist::Netlist,
+        rows: &[sdlc_netlist::reduce::RowBits],
+        product_width: usize,
+    ) -> Vec<sdlc_netlist::NetId> {
+        use sdlc_netlist::reduce;
+        let mut bits = match self {
+            ReductionScheme::RippleRows => reduce::accumulate_rows_ripple(netlist, rows),
+            ReductionScheme::CarrySaveArray => reduce::carry_save(netlist, rows),
+            ReductionScheme::Wallace => {
+                let columns = reduce::rows_to_columns(rows, product_width);
+                reduce::wallace(netlist, columns)
+            }
+            ReductionScheme::Dadda => {
+                let columns = reduce::rows_to_columns(rows, product_width);
+                reduce::dadda(netlist, columns)
+            }
+        };
+        // Normalize to exactly `product_width` bits; a multiplier's value
+        // always fits, so any headroom bits being dropped are structural
+        // zeros.
+        let zero = netlist.const0();
+        bits.resize(product_width, zero);
+        bits
+    }
+}

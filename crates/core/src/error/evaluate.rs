@@ -1,0 +1,391 @@
+//! Exhaustive and Monte-Carlo error evaluation drivers.
+//!
+//! The paper evaluates "all possible combinations of operands" (Section
+//! III). That is 2^{2N} pairs — trivial up to 12 bits, 4.3 G pairs at
+//! 16 bits. [`exhaustive`] sweeps every pair in parallel; [`sampled`] draws
+//! a seeded uniform sample for the widths where exhaustion is unreasonable
+//! on a laptop. Both drivers are deterministic: thread count never changes
+//! the result, and sampling depends only on the seed.
+
+use core::fmt;
+
+use sdlc_wideint::SplitMix64;
+
+use crate::error::metrics::{ErrorAccumulator, ErrorMetrics};
+use crate::multiplier::Multiplier;
+
+/// Errors reported by the evaluation drivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// Exhaustive evaluation was requested for a width whose 2^{2N} space
+    /// is too large to sweep.
+    WidthTooLarge {
+        /// Requested width.
+        width: u32,
+        /// Largest width the driver accepts.
+        limit: u32,
+    },
+    /// A sample count of zero was requested.
+    NoSamples,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::WidthTooLarge { width, limit } => write!(
+                f,
+                "exhaustive evaluation of a {width}-bit multiplier needs 2^{} cases; \
+                 the driver accepts at most {limit}-bit",
+                2 * width
+            ),
+            EvalError::NoSamples => write!(f, "sample count must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Largest width accepted by [`exhaustive`] (2^32 cases, ≈ minutes of CPU).
+pub const EXHAUSTIVE_WIDTH_LIMIT: u32 = 16;
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Exhaustively evaluates every operand pair of an `N ≤ 16` bit multiplier
+/// using all available cores.
+///
+/// # Errors
+///
+/// Returns [`EvalError::WidthTooLarge`] above
+/// [`EXHAUSTIVE_WIDTH_LIMIT`] bits.
+pub fn exhaustive<M>(multiplier: &M) -> Result<ErrorMetrics, EvalError>
+where
+    M: Multiplier + Sync,
+{
+    exhaustive_with_threads(multiplier, default_threads())
+}
+
+/// [`exhaustive`] with an explicit worker-thread count (the result does not
+/// depend on the count; it only partitions the sweep).
+///
+/// # Errors
+///
+/// Returns [`EvalError::WidthTooLarge`] above
+/// [`EXHAUSTIVE_WIDTH_LIMIT`] bits.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn exhaustive_with_threads<M>(
+    multiplier: &M,
+    threads: usize,
+) -> Result<ErrorMetrics, EvalError>
+where
+    M: Multiplier + Sync,
+{
+    assert!(threads > 0, "thread count must be positive");
+    let width = multiplier.width();
+    if width > EXHAUSTIVE_WIDTH_LIMIT {
+        return Err(EvalError::WidthTooLarge { width, limit: EXHAUSTIVE_WIDTH_LIMIT });
+    }
+    let count: u64 = 1u64 << width;
+    let threads = threads.min(count as usize);
+    let chunk = count.div_ceil(threads as u64);
+    let mut partials: Vec<ErrorAccumulator> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t as u64 * chunk;
+                let hi = (lo + chunk).min(count);
+                scope.spawn(move || {
+                    let mut acc = ErrorAccumulator::new();
+                    for a in lo..hi {
+                        for b in 0..count {
+                            let exact = u128::from(a) * u128::from(b);
+                            let approx = multiplier.multiply_u64(a, b);
+                            acc.record_u64(exact, approx, (a, b));
+                        }
+                    }
+                    acc
+                })
+            })
+            .collect();
+        for handle in handles {
+            partials.push(handle.join().expect("worker panicked"));
+        }
+    });
+    let mut total = ErrorAccumulator::new();
+    for p in &partials {
+        total.merge(p);
+    }
+    Ok(total.finish(multiplier.max_product()))
+}
+
+/// Evaluates `samples` uniformly random operand pairs (seeded, parallel,
+/// deterministic for a given `(seed, samples)` regardless of thread count).
+///
+/// # Errors
+///
+/// Returns [`EvalError::NoSamples`] when `samples == 0`.
+pub fn sampled<M>(multiplier: &M, samples: u64, seed: u64) -> Result<ErrorMetrics, EvalError>
+where
+    M: Multiplier + Sync,
+{
+    sampled_with_threads(multiplier, samples, seed, default_threads())
+}
+
+/// [`sampled`] with an explicit thread count.
+///
+/// Each worker draws from an independent SplitMix64 stream derived from the
+/// seed and its worker index, so the union of draws is a pure function of
+/// `(seed, samples, threads→partitioning)`; we fix the partitioning as a
+/// function of `samples` only, making results thread-count independent.
+///
+/// # Errors
+///
+/// Returns [`EvalError::NoSamples`] when `samples == 0`.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn sampled_with_threads<M>(
+    multiplier: &M,
+    samples: u64,
+    seed: u64,
+    threads: usize,
+) -> Result<ErrorMetrics, EvalError>
+where
+    M: Multiplier + Sync,
+{
+    assert!(threads > 0, "thread count must be positive");
+    if samples == 0 {
+        return Err(EvalError::NoSamples);
+    }
+    let width = multiplier.width();
+    // Fixed logical partitioning: 256 shards, each with its own substream.
+    const SHARDS: u64 = 256;
+    let per_shard = samples.div_ceil(SHARDS);
+    let shard_list: Vec<u64> = (0..SHARDS).collect();
+    let chunk = shard_list.len().div_ceil(threads);
+    let mut partials: Vec<ErrorAccumulator> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shard_list
+            .chunks(chunk.max(1))
+            .map(|shards| {
+                scope.spawn(move || {
+                    let mut acc = ErrorAccumulator::new();
+                    for &shard in shards {
+                        let mut rng = SplitMix64::new(seed ^ (shard.wrapping_mul(0x9e37_79b9)));
+                        let begin = shard * per_shard;
+                        let end = (begin + per_shard).min(samples);
+                        if width <= 32 {
+                            for _ in begin..end {
+                                let a = rng.next_bits(width);
+                                let b = rng.next_bits(width);
+                                let exact = u128::from(a) * u128::from(b);
+                                let approx = multiplier.multiply_u64(a, b);
+                                acc.record_u64(exact, approx, (a, b));
+                            }
+                        } else {
+                            for _ in begin..end {
+                                let a = draw_u128(&mut rng, width);
+                                let b = draw_u128(&mut rng, width);
+                                let exact = sdlc_wideint::U256::from_u128(a)
+                                    .wrapping_mul(&sdlc_wideint::U256::from_u128(b));
+                                let approx = multiplier.multiply(a, b);
+                                acc.record(&exact, &approx, (a, b));
+                            }
+                        }
+                    }
+                    acc
+                })
+            })
+            .collect();
+        for handle in handles {
+            partials.push(handle.join().expect("worker panicked"));
+        }
+    });
+    let mut total = ErrorAccumulator::new();
+    for p in &partials {
+        total.merge(p);
+    }
+    Ok(total.finish(multiplier.max_product()))
+}
+
+fn draw_u128(rng: &mut SplitMix64, width: u32) -> u128 {
+    if width <= 64 {
+        u128::from(rng.next_bits(width))
+    } else {
+        let high = rng.next_bits(width - 64);
+        let low = rng.next_u64();
+        (u128::from(high) << 64) | u128::from(low)
+    }
+}
+
+/// Evaluates error metrics under a *caller-supplied operand distribution*
+/// instead of the uniform one — real workloads (image pixels against a
+/// handful of kernel weights, filter taps, …) exercise very different dot
+/// patterns, and SDLC's error profile depends on which bits collide (see
+/// the Figure 8 kernel-sensitivity notes in `EXPERIMENTS.md`).
+///
+/// `draw` receives a seeded PRNG and the sample index and returns the
+/// operand pair; single-threaded and deterministic in `seed`.
+///
+/// # Errors
+///
+/// Returns [`EvalError::NoSamples`] when `samples == 0`.
+///
+/// # Panics
+///
+/// Panics (through the multiplier) if `draw` emits operands beyond the
+/// multiplier's width.
+///
+/// # Examples
+///
+/// ```
+/// use sdlc_core::error::sampled_with_operands;
+/// use sdlc_core::SdlcMultiplier;
+///
+/// let m = SdlcMultiplier::new(8, 2)?;
+/// // Image-like workload: pixel × one of three kernel weights.
+/// let weights = [164u64, 204, 255];
+/// let metrics = sampled_with_operands(&m, 10_000, 1, |rng, _| {
+///     (rng.next_bits(8), weights[rng.next_below(3) as usize])
+/// })
+/// .unwrap();
+/// assert!(metrics.mred < 0.05);
+/// # Ok::<(), sdlc_core::SpecError>(())
+/// ```
+pub fn sampled_with_operands<M>(
+    multiplier: &M,
+    samples: u64,
+    seed: u64,
+    mut draw: impl FnMut(&mut SplitMix64, u64) -> (u64, u64),
+) -> Result<ErrorMetrics, EvalError>
+where
+    M: Multiplier,
+{
+    if samples == 0 {
+        return Err(EvalError::NoSamples);
+    }
+    assert!(multiplier.width() <= 32, "distribution evaluation uses the u64 fast path");
+    let mut rng = SplitMix64::new(seed);
+    let mut acc = ErrorAccumulator::new();
+    for i in 0..samples {
+        let (a, b) = draw(&mut rng, i);
+        let exact = u128::from(a) * u128::from(b);
+        let approx = multiplier.multiply_u64(a, b);
+        acc.record_u64(exact, approx, (a, b));
+    }
+    Ok(acc.finish(multiplier.max_product()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccurateMultiplier, SdlcMultiplier};
+
+    #[test]
+    fn accurate_multiplier_has_no_error() {
+        let m = AccurateMultiplier::new(8).unwrap();
+        let metrics = exhaustive(&m).unwrap();
+        assert_eq!(metrics.error_rate, 0.0);
+        assert_eq!(metrics.mred, 0.0);
+        assert_eq!(metrics.samples, 1 << 16);
+    }
+
+    #[test]
+    fn exhaustive_is_thread_count_invariant() {
+        let m = SdlcMultiplier::new(6, 2).unwrap();
+        let one = exhaustive_with_threads(&m, 1).unwrap();
+        let many = exhaustive_with_threads(&m, 7).unwrap();
+        assert_eq!(one.samples, many.samples);
+        assert_eq!(one.error_rate, many.error_rate);
+        assert!((one.mred - many.mred).abs() < 1e-15);
+        assert!((one.nmed - many.nmed).abs() < 1e-15);
+        assert_eq!(one.max_red, many.max_red);
+    }
+
+    #[test]
+    fn sampled_is_thread_count_invariant() {
+        let m = SdlcMultiplier::new(12, 2).unwrap();
+        let a = sampled_with_threads(&m, 40_000, 42, 1).unwrap();
+        let b = sampled_with_threads(&m, 40_000, 42, 5).unwrap();
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.error_rate, b.error_rate);
+        assert!((a.mred - b.mred).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sampled_approaches_exhaustive() {
+        let m = SdlcMultiplier::new(8, 2).unwrap();
+        let exact = exhaustive(&m).unwrap();
+        let sample = sampled(&m, 400_000, 7).unwrap();
+        assert!(
+            (exact.error_rate - sample.error_rate).abs() < 0.01,
+            "ER {} vs {}",
+            exact.error_rate,
+            sample.error_rate
+        );
+        assert!((exact.mred - sample.mred).abs() / exact.mred < 0.05);
+    }
+
+    #[test]
+    fn rejects_oversized_exhaustive() {
+        let m = SdlcMultiplier::new(32, 2).unwrap();
+        let err = exhaustive(&m).unwrap_err();
+        assert!(matches!(err, EvalError::WidthTooLarge { width: 32, .. }));
+        assert!(err.to_string().contains("32-bit"));
+    }
+
+    #[test]
+    fn rejects_zero_samples() {
+        let m = SdlcMultiplier::new(8, 2).unwrap();
+        assert_eq!(sampled(&m, 0, 1).unwrap_err(), EvalError::NoSamples);
+    }
+
+    #[test]
+    fn sampled_works_for_wide_multipliers() {
+        let m = SdlcMultiplier::new(64, 2).unwrap();
+        let metrics = sampled(&m, 4_000, 3).unwrap();
+        assert!(metrics.error_rate > 0.9, "wide SDLC errs almost always");
+        assert!(metrics.mred < 1e-3, "but relative error is tiny: {}", metrics.mred);
+    }
+
+    #[test]
+    fn distribution_evaluation_differs_from_uniform() {
+        let m = SdlcMultiplier::new(8, 3).unwrap();
+        let uniform = exhaustive(&m).unwrap();
+        // Kernel-weight workload (small Q0.8 weights): different collisions.
+        let weights = [24u64, 30, 40];
+        let workload = sampled_with_operands(&m, 200_000, 5, |rng, _| {
+            (rng.next_bits(8), weights[rng.next_below(3) as usize])
+        })
+        .unwrap();
+        let rel = (workload.mred - uniform.mred).abs() / uniform.mred;
+        assert!(rel > 0.2, "workload MRED {} vs uniform {}", workload.mred, uniform.mred);
+    }
+
+    #[test]
+    fn distribution_evaluation_matches_uniform_when_uniform() {
+        let m = SdlcMultiplier::new(8, 2).unwrap();
+        let exact = exhaustive(&m).unwrap();
+        let sampled_uniform = sampled_with_operands(&m, 400_000, 9, |rng, _| {
+            (rng.next_bits(8), rng.next_bits(8))
+        })
+        .unwrap();
+        assert!((exact.mred - sampled_uniform.mred).abs() / exact.mred < 0.05);
+        assert!((exact.error_rate - sampled_uniform.error_rate).abs() < 0.01);
+    }
+
+    #[test]
+    fn distribution_evaluation_is_deterministic_and_validates() {
+        let m = SdlcMultiplier::new(8, 2).unwrap();
+        let draw = |rng: &mut sdlc_wideint::SplitMix64, _: u64| (rng.next_bits(8), 3u64);
+        let a = sampled_with_operands(&m, 1000, 7, draw).unwrap();
+        let b = sampled_with_operands(&m, 1000, 7, draw).unwrap();
+        assert_eq!(a.mred, b.mred);
+        assert_eq!(sampled_with_operands(&m, 0, 7, draw).unwrap_err(), EvalError::NoSamples);
+    }
+}

@@ -1,0 +1,324 @@
+//! Error-metric accumulation and the finished [`ErrorMetrics`] record.
+
+use core::fmt;
+
+use sdlc_wideint::U256;
+
+/// Streaming accumulator for error statistics.
+///
+/// Feed it `(exact, approximate)` product pairs with
+/// [`ErrorAccumulator::record_u64`] (fast path, products ≤ 128 bits) or
+/// [`ErrorAccumulator::record`] (wide path); partial accumulators from
+/// worker threads combine with [`ErrorAccumulator::merge`].
+///
+/// # Examples
+///
+/// ```
+/// use sdlc_core::error::ErrorAccumulator;
+/// use sdlc_wideint::U256;
+///
+/// let mut acc = ErrorAccumulator::new();
+/// acc.record_u64(9, 7, (3, 3));   // ED = 2, RED = 2/9
+/// acc.record_u64(4, 4, (2, 2));   // exact
+/// let m = acc.finish(U256::from_u64(9)); // Pmax of a 2-bit multiplier
+/// assert_eq!(m.samples, 2);
+/// assert_eq!(m.error_rate, 0.5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ErrorAccumulator {
+    samples: u64,
+    errors: u64,
+    undefined_red: u64,
+    sum_ed: f64,
+    sum_red: f64,
+    sum_red_sq: f64,
+    max_red: f64,
+    max_ed: f64,
+    worst_red_operands: Option<(u128, u128)>,
+}
+
+impl ErrorAccumulator {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one multiplication with products that fit in `u128`,
+    /// tagging it with the operand pair for worst-case reporting.
+    ///
+    /// A wrong product against an exact product of zero (possible for
+    /// baselines like ETM whose OR chains ignore a zero operand) has no
+    /// defined RED; such pairs count toward ER and the ED statistics but
+    /// are excluded from the RED mean and maximum
+    /// ([`ErrorMetrics::undefined_red_count`] reports how many).
+    pub fn record_u64(&mut self, exact: u128, approx: u128, operands: (u64, u64)) {
+        self.samples += 1;
+        if exact == approx {
+            return;
+        }
+        self.errors += 1;
+        let ed = exact.abs_diff(approx) as f64;
+        if exact == 0 {
+            self.undefined_red += 1;
+            self.sum_ed += ed;
+            self.max_ed = self.max_ed.max(ed);
+            return;
+        }
+        let red = ed / exact as f64;
+        self.bump(ed, red, (u128::from(operands.0), u128::from(operands.1)));
+    }
+
+    /// Records one multiplication with wide products; see
+    /// [`ErrorAccumulator::record_u64`] for the zero-product convention.
+    pub fn record(&mut self, exact: &U256, approx: &U256, operands: (u128, u128)) {
+        self.samples += 1;
+        if exact == approx {
+            return;
+        }
+        self.errors += 1;
+        let ed = exact.abs_diff(approx).to_f64();
+        if exact.is_zero() {
+            self.undefined_red += 1;
+            self.sum_ed += ed;
+            self.max_ed = self.max_ed.max(ed);
+            return;
+        }
+        let red = ed / exact.to_f64();
+        self.bump(ed, red, operands);
+    }
+
+    fn bump(&mut self, ed: f64, red: f64, operands: (u128, u128)) {
+        self.sum_ed += ed;
+        self.sum_red += red;
+        self.sum_red_sq += red * red;
+        self.max_ed = self.max_ed.max(ed);
+        if red > self.max_red {
+            self.max_red = red;
+            self.worst_red_operands = Some(operands);
+        }
+    }
+
+    /// Number of samples recorded so far.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Combines a partial accumulator (e.g. from another thread) into this
+    /// one.
+    pub fn merge(&mut self, other: &ErrorAccumulator) {
+        self.samples += other.samples;
+        self.errors += other.errors;
+        self.undefined_red += other.undefined_red;
+        self.sum_ed += other.sum_ed;
+        self.sum_red += other.sum_red;
+        self.sum_red_sq += other.sum_red_sq;
+        self.max_ed = self.max_ed.max(other.max_ed);
+        if other.max_red > self.max_red {
+            self.max_red = other.max_red;
+            self.worst_red_operands = other.worst_red_operands;
+        }
+    }
+
+    /// Finalizes the statistics given `Pmax = (2^N − 1)²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples were recorded or `pmax` is zero.
+    #[must_use]
+    pub fn finish(&self, pmax: U256) -> ErrorMetrics {
+        assert!(self.samples > 0, "cannot finish an empty accumulator");
+        assert!(!pmax.is_zero(), "Pmax must be positive");
+        let n = self.samples as f64;
+        let red_n = (self.samples - self.undefined_red) as f64;
+        let med = self.sum_ed / n;
+        let error_rate = self.errors as f64 / n;
+        let mred = if red_n > 0.0 { self.sum_red / red_n } else { 0.0 };
+        // Standard errors of the sample means (exact sweeps report them
+        // too; they are then the finite-population values of a hypothetical
+        // redraw, still useful as scale indicators).
+        let mred_variance = if red_n > 1.0 {
+            ((self.sum_red_sq / red_n) - mred * mred).max(0.0)
+        } else {
+            0.0
+        };
+        ErrorMetrics {
+            samples: self.samples,
+            error_rate,
+            mred,
+            med,
+            nmed: med / pmax.to_f64(),
+            max_red: self.max_red,
+            max_ed: self.max_ed,
+            mred_std_error: if red_n > 0.0 { (mred_variance / red_n).sqrt() } else { 0.0 },
+            er_std_error: (error_rate * (1.0 - error_rate) / n).sqrt(),
+            undefined_red_count: self.undefined_red,
+            worst_red_operands: self.worst_red_operands,
+        }
+    }
+}
+
+/// Finished error statistics for one multiplier configuration.
+///
+/// Field meanings follow the paper's Section III; `mred`, `error_rate` and
+/// `max_red` are fractions in `[0, 1]` (multiply by 100 for the paper's
+/// percentage tables).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorMetrics {
+    /// Number of operand pairs evaluated.
+    pub samples: u64,
+    /// ER — fraction of pairs with `P′ ≠ P`.
+    pub error_rate: f64,
+    /// MRED — mean relative error distance.
+    pub mred: f64,
+    /// MED — mean error distance (absolute).
+    pub med: f64,
+    /// NMED — MED normalized by `Pmax`.
+    pub nmed: f64,
+    /// Largest observed RED.
+    pub max_red: f64,
+    /// Largest observed ED.
+    pub max_ed: f64,
+    /// Standard error of the MRED estimate (Monte-Carlo uncertainty).
+    pub mred_std_error: f64,
+    /// Standard error of the ER estimate (binomial).
+    pub er_std_error: f64,
+    /// Wrong products whose exact product was zero (RED undefined;
+    /// excluded from `mred`/`max_red`, included in ER/ED statistics).
+    pub undefined_red_count: u64,
+    /// Operand pair achieving `max_red`, if any error was seen.
+    pub worst_red_operands: Option<(u128, u128)>,
+}
+
+impl fmt::Display for ErrorMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MRED {:.5}%  NMED {:.6}  ER {:.2}%  MAX(RED) {:.4}%  ({} samples)",
+            self.mred * 100.0,
+            self.nmed,
+            self.error_rate * 100.0,
+            self.max_red * 100.0,
+            self.samples
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_stream_has_zero_errors() {
+        let mut acc = ErrorAccumulator::new();
+        for x in 1..100u128 {
+            acc.record_u64(x, x, (x as u64, 1));
+        }
+        let m = acc.finish(U256::from_u64(10000));
+        assert_eq!(m.error_rate, 0.0);
+        assert_eq!(m.mred, 0.0);
+        assert_eq!(m.nmed, 0.0);
+        assert_eq!(m.max_red, 0.0);
+        assert!(m.worst_red_operands.is_none());
+    }
+
+    #[test]
+    fn single_error_metrics() {
+        let mut acc = ErrorAccumulator::new();
+        acc.record_u64(10, 7, (5, 2));
+        acc.record_u64(10, 10, (5, 2));
+        let m = acc.finish(U256::from_u64(100));
+        assert_eq!(m.samples, 2);
+        assert_eq!(m.error_rate, 0.5);
+        assert!((m.mred - 0.15).abs() < 1e-12); // (3/10)/2
+        assert!((m.med - 1.5).abs() < 1e-12);
+        assert!((m.nmed - 0.015).abs() < 1e-12);
+        assert!((m.max_red - 0.3).abs() < 1e-12);
+        assert_eq!(m.worst_red_operands, Some((5, 2)));
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut a = ErrorAccumulator::new();
+        let mut b = ErrorAccumulator::new();
+        let mut whole = ErrorAccumulator::new();
+        for i in 1..50u128 {
+            let approx = i * i - (i % 3);
+            a.record_u64(i * i, approx, (i as u64, i as u64));
+            whole.record_u64(i * i, approx, (i as u64, i as u64));
+        }
+        for i in 50..100u128 {
+            let approx = i * i - (i % 7);
+            b.record_u64(i * i, approx, (i as u64, i as u64));
+            whole.record_u64(i * i, approx, (i as u64, i as u64));
+        }
+        a.merge(&b);
+        let pmax = U256::from_u64(99 * 99);
+        let merged = a.finish(pmax);
+        let sequential = whole.finish(pmax);
+        assert_eq!(merged.samples, sequential.samples);
+        assert_eq!(merged.error_rate, sequential.error_rate);
+        assert_eq!(merged.max_red, sequential.max_red);
+        assert_eq!(merged.max_ed, sequential.max_ed);
+        assert_eq!(merged.worst_red_operands, sequential.worst_red_operands);
+        // Sums are added in a different order; allow for float reassociation.
+        assert!((merged.mred - sequential.mred).abs() < 1e-12);
+        assert!((merged.nmed - sequential.nmed).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_and_narrow_paths_agree() {
+        let mut narrow = ErrorAccumulator::new();
+        let mut wide = ErrorAccumulator::new();
+        let cases = [(100u128, 90u128), (17, 17), (255 * 255, 255 * 254)];
+        for &(p, q) in &cases {
+            narrow.record_u64(p, q, (1, 1));
+            wide.record(&U256::from_u128(p), &U256::from_u128(q), (1, 1));
+        }
+        let pmax = U256::from_u64(255 * 255);
+        let a = narrow.finish(pmax);
+        let b = wide.finish(pmax);
+        assert!((a.mred - b.mred).abs() < 1e-12);
+        assert!((a.nmed - b.nmed).abs() < 1e-12);
+        assert_eq!(a.error_rate, b.error_rate);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty accumulator")]
+    fn finish_empty_panics() {
+        let _ = ErrorAccumulator::new().finish(U256::ONE);
+    }
+
+    #[test]
+    fn standard_errors_shrink_with_sample_count() {
+        let run = |n: u64| {
+            let mut acc = ErrorAccumulator::new();
+            for i in 0..n {
+                // Half the samples err with RED = 0.2.
+                if i % 2 == 0 {
+                    acc.record_u64(10, 8, (1, 1));
+                } else {
+                    acc.record_u64(10, 10, (1, 1));
+                }
+            }
+            acc.finish(U256::from_u64(100))
+        };
+        let small = run(100);
+        let large = run(10_000);
+        assert!(small.er_std_error > large.er_std_error * 5.0);
+        assert!(small.mred_std_error > large.mred_std_error * 5.0);
+        // Binomial check: p = 0.5 at n = 100 → 0.05.
+        assert!((small.er_std_error - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_all_metrics() {
+        let mut acc = ErrorAccumulator::new();
+        acc.record_u64(10, 9, (5, 2));
+        let text = acc.finish(U256::from_u64(100)).to_string();
+        for needle in ["MRED", "NMED", "ER", "MAX(RED)"] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+}

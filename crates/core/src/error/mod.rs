@@ -1,0 +1,34 @@
+//! Error analysis for approximate multipliers (Section III of the paper).
+//!
+//! The metrics follow Liang/Han/Lombardi's definitions as used in the
+//! paper:
+//!
+//! * `ED  = |P − P′|` — error distance of one multiplication;
+//! * `RED = ED / P` — relative error distance (defined as 0 when `ED = 0`,
+//!   which covers the `P = 0` corner);
+//! * `ER` — fraction of operand pairs with a wrong product;
+//! * `MED = Σ ED / 2^{2N}`, `NMED = MED / Pmax` with `Pmax = (2^N − 1)²`;
+//! * `MRED = Σ RED / 2^{2N}`; plus the observed maxima `MAX(RED)`/`MAX(ED)`.
+//!
+//! [`exhaustive`] runs exhaustive sweeps (every operand pair, as the paper
+//! does up to 16 bits) and [`sampled`]/[`sampled_with_operands`] seeded
+//! Monte-Carlo sampling, in parallel; [`RedHistogram`] reproduces the RED
+//! probability distribution of Figure 5; [`error_rate_depth2`] and
+//! [`mean_error_distance`] derive error statistics exactly, independent of
+//! simulation.
+
+mod analytic;
+mod evaluate;
+mod histogram;
+mod metrics;
+
+pub use analytic::{
+    adjacent_ones_profile, error_rate_depth2, mean_error_distance,
+    normalized_mean_error_distance,
+};
+pub use evaluate::{
+    exhaustive, exhaustive_with_threads, sampled, sampled_with_operands, sampled_with_threads,
+    EvalError, EXHAUSTIVE_WIDTH_LIMIT,
+};
+pub use histogram::{RedHistogram, RED_HISTOGRAM_BINS};
+pub use metrics::{ErrorAccumulator, ErrorMetrics};

@@ -1,0 +1,389 @@
+//! Inspectable partial-product dot-matrix model (Figures 2–4 of the paper).
+//!
+//! While [`crate::SdlcMultiplier`] evaluates products with word-level bit
+//! tricks, this module models the *structure*: which dot sits where, which
+//! dots a cluster merges, and how commutative remapping packs the surviving
+//! bits into the reduced matrix. It is the bridge between the functional
+//! model and the gate-level generators in [`crate::circuits`], and it
+//! renders the paper's dot-notation diagrams as text.
+//!
+//! ```
+//! use sdlc_core::matrix::ReducedMatrix;
+//! use sdlc_core::SdlcMultiplier;
+//!
+//! let m = SdlcMultiplier::new(8, 2)?;
+//! let reduced = ReducedMatrix::from_multiplier(&m);
+//! assert_eq!(reduced.rows().len(), 4);            // N/2 rows
+//! assert_eq!(reduced.critical_column_height(), 4); // halved from 8
+//! println!("{}", reduced.render());                // Figure 3(c)
+//! # Ok::<(), sdlc_core::SpecError>(())
+//! ```
+
+use core::fmt;
+
+use crate::sdlc::SdlcMultiplier;
+use crate::Multiplier;
+
+/// One surviving bit of the reduced partial-product matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Bit {
+    /// An uncompressed partial product `A_j ∧ B_k` (drawn `·` in the
+    /// paper's dot notation).
+    Exact {
+        /// Multiplicand bit index.
+        j: u32,
+        /// Multiplier bit index.
+        k: u32,
+    },
+    /// An OR of two or more vertically aligned dots of one cluster (drawn
+    /// as a hollow dot in the paper).
+    Compressed {
+        /// The merged dots as `(j, k)` pairs, ordered by row `k`.
+        dots: Vec<(u32, u32)>,
+    },
+}
+
+impl Bit {
+    /// The dots feeding this bit.
+    #[must_use]
+    pub fn dots(&self) -> Vec<(u32, u32)> {
+        match self {
+            Bit::Exact { j, k } => vec![(*j, *k)],
+            Bit::Compressed { dots } => dots.clone(),
+        }
+    }
+
+    /// Whether this bit is a lossy OR of several dots.
+    #[must_use]
+    pub fn is_compressed(&self) -> bool {
+        matches!(self, Bit::Compressed { dots } if dots.len() > 1)
+    }
+
+    /// Evaluates the bit for concrete operands.
+    #[must_use]
+    pub fn evaluate(&self, a: u128, b: u128) -> bool {
+        self.dots().iter().any(|&(j, k)| (a >> j) & 1 == 1 && (b >> k) & 1 == 1)
+    }
+}
+
+/// One row of the reduced matrix: bits placed at absolute weights.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Row {
+    bits: Vec<(u32, Bit)>,
+}
+
+impl Row {
+    /// Bits of this row as `(weight, bit)` pairs, sorted by weight.
+    #[must_use]
+    pub fn bits(&self) -> &[(u32, Bit)] {
+        &self.bits
+    }
+
+    /// Evaluates the row to its integer value for concrete operands.
+    #[must_use]
+    pub fn evaluate(&self, a: u128, b: u128) -> u128 {
+        self.bits
+            .iter()
+            .filter(|(_, bit)| bit.evaluate(a, b))
+            .map(|&(w, _)| 1u128 << w)
+            .sum()
+    }
+}
+
+/// The reduced, remapped partial-product matrix of an SDLC multiplier.
+///
+/// Construction mirrors the paper's two steps: logic clustering produces
+/// one compressed row per cluster plus loose exact tail dots; commutative
+/// remapping then drops each tail bit into the first row with a free slot
+/// at its weight ("bits with the same weight are gathered in the same
+/// column").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReducedMatrix {
+    width: u32,
+    depth: u32,
+    rows: Vec<Row>,
+}
+
+impl ReducedMatrix {
+    /// Builds the reduced matrix for an SDLC multiplier configuration.
+    #[must_use]
+    pub fn from_multiplier(multiplier: &SdlcMultiplier) -> Self {
+        let width = multiplier.width();
+        let depth = multiplier.depth();
+        let bounds = multiplier.group_bounds().to_vec();
+        let mut rows: Vec<Row> = vec![Row::default(); bounds.len()];
+
+        // Step 1 — logic clustering: per group, per weight, merge the
+        // compressed dots into one bit in the group's own row.
+        let mut tails: Vec<(u32, Bit)> = Vec::new();
+        for (g, &(base, top)) in bounds.iter().enumerate() {
+            let min_w = base;
+            let max_w = top - 1 + width - 1;
+            for w in min_w..=max_w {
+                let mut compressed = Vec::new();
+                for k in base..top {
+                    if w < k || w - k >= width {
+                        continue;
+                    }
+                    let j = w - k;
+                    if j < multiplier.threshold(k) {
+                        compressed.push((j, k));
+                    } else {
+                        tails.push((w, Bit::Exact { j, k }));
+                    }
+                }
+                match compressed.len() {
+                    0 => {}
+                    1 => rows[g]
+                        .bits
+                        .push((w, Bit::Exact { j: compressed[0].0, k: compressed[0].1 })),
+                    _ => rows[g].bits.push((w, Bit::Compressed { dots: compressed })),
+                }
+            }
+        }
+
+        // Step 2 — commutative remapping: place each exact tail in the
+        // first row with a free slot at its weight. The paper's greedy
+        // schedule always fits in ⌈N/d⌉ rows (tested below); the formula
+        // ablation variants may overflow, in which case extra rows grow on
+        // demand (costing extra adder rows, as their hardware would).
+        tails.sort_by_key(|&(w, _)| w);
+        for (w, bit) in tails {
+            let row = match rows
+                .iter_mut()
+                .find(|row| row.bits.iter().all(|&(existing, _)| existing != w))
+            {
+                Some(row) => row,
+                None => {
+                    rows.push(Row::default());
+                    rows.last_mut().expect("just pushed")
+                }
+            };
+            row.bits.push((w, bit));
+        }
+        for row in &mut rows {
+            row.bits.sort_by_key(|&(w, _)| w);
+        }
+        Self { width, depth, rows }
+    }
+
+    /// Operand width N.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Cluster depth d.
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// The remapped rows (⌈N/d⌉ of them).
+    #[must_use]
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of bits stacked at a given weight across all rows.
+    #[must_use]
+    pub fn column_height(&self, weight: u32) -> u32 {
+        self.rows
+            .iter()
+            .filter(|row| row.bits.iter().any(|&(w, _)| w == weight))
+            .count() as u32
+    }
+
+    /// Height of the tallest column — the paper's "critical column",
+    /// halved versus the accurate multiplier for depth 2.
+    #[must_use]
+    pub fn critical_column_height(&self) -> u32 {
+        (0..=2 * self.width - 2).map(|w| self.column_height(w)).max().unwrap_or(0)
+    }
+
+    /// Total surviving bits (compressed + exact).
+    #[must_use]
+    pub fn bit_count(&self) -> usize {
+        self.rows.iter().map(|row| row.bits.len()).sum()
+    }
+
+    /// Number of lossy OR bits.
+    #[must_use]
+    pub fn compressed_bit_count(&self) -> usize {
+        self.rows
+            .iter()
+            .flat_map(|row| &row.bits)
+            .filter(|(_, bit)| bit.is_compressed())
+            .count()
+    }
+
+    /// Evaluates the whole matrix: the sum of all rows. Must agree with
+    /// [`SdlcMultiplier`]'s word-level evaluation bit for bit.
+    #[must_use]
+    pub fn evaluate(&self, a: u128, b: u128) -> u128 {
+        self.rows.iter().map(|row| row.evaluate(a, b)).sum()
+    }
+
+    /// Renders the matrix in the paper's dot notation: `·` for an exact
+    /// partial product, `o` for a compressed (OR) bit, most significant
+    /// weight on the left — the textual equivalent of Figures 3(c)/4(c)/4(f).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let total = 2 * self.width - 1;
+        for row in &self.rows {
+            let mut line = vec![' '; total as usize];
+            for &(w, ref bit) in &row.bits {
+                line[(total - 1 - w) as usize] = if bit.is_compressed() { 'o' } else { '·' };
+            }
+            out.push_str(line.iter().collect::<String>().trim_end());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for ReducedMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+/// The uncompressed N×N partial-product matrix in dot notation — the
+/// "before" picture of Figures 3(a)/4(a).
+#[must_use]
+pub fn render_full_matrix(width: u32) -> String {
+    let total = 2 * width - 1;
+    let mut out = String::new();
+    for k in 0..width {
+        let mut line = vec![' '; total as usize];
+        for j in 0..width {
+            line[(total - 1 - (j + k)) as usize] = '·';
+        }
+        out.push_str(line.iter().collect::<String>().trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClusterVariant;
+
+    #[test]
+    fn matrix_evaluation_matches_fast_model_8bit() {
+        for depth in [2u32, 3, 4] {
+            let m = SdlcMultiplier::new(8, depth).unwrap();
+            let matrix = ReducedMatrix::from_multiplier(&m);
+            for a in 0..256u64 {
+                for b in (0..256u64).step_by(3) {
+                    assert_eq!(
+                        matrix.evaluate(u128::from(a), u128::from(b)),
+                        m.multiply_u64(a, b),
+                        "depth {depth}, a={a}, b={b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_count_is_reduced() {
+        for (depth, expect) in [(2u32, 4usize), (3, 3), (4, 2)] {
+            let m = SdlcMultiplier::new(8, depth).unwrap();
+            let matrix = ReducedMatrix::from_multiplier(&m);
+            assert_eq!(matrix.rows().len(), expect);
+        }
+    }
+
+    #[test]
+    fn critical_column_is_halved_for_depth2() {
+        // Figure 3: dotted rectangle height N/2 instead of N.
+        for width in [4u32, 8, 16] {
+            let m = SdlcMultiplier::new(width, 2).unwrap();
+            let matrix = ReducedMatrix::from_multiplier(&m);
+            assert_eq!(matrix.critical_column_height(), width / 2);
+        }
+    }
+
+    #[test]
+    fn packing_leaves_no_column_overflow() {
+        for width in [8u32, 12, 16] {
+            for depth in [2u32, 3, 4] {
+                let m = SdlcMultiplier::new(width, depth).unwrap();
+                let matrix = ReducedMatrix::from_multiplier(&m);
+                assert!(matrix.critical_column_height() <= m.reduced_rows());
+            }
+        }
+    }
+
+    #[test]
+    fn depth2_8bit_structure_matches_figure2() {
+        let m = SdlcMultiplier::new(8, 2).unwrap();
+        let matrix = ReducedMatrix::from_multiplier(&m);
+        // Figure 2: clusters 2×7/2×6/2×5/2×4 → 22 compressed bits.
+        assert_eq!(matrix.compressed_bit_count(), 22);
+        // Design-notes packing: row bit counts 15, 12, 9, 6 (fully packed
+        // staircase), total (5N² + 2N)/8 = 42.
+        let counts: Vec<usize> = matrix.rows().iter().map(|r| r.bits().len()).collect();
+        assert_eq!(counts, vec![15, 12, 9, 6]);
+        assert_eq!(matrix.bit_count(), 42);
+    }
+
+    #[test]
+    fn every_dot_appears_exactly_once() {
+        for depth in [2u32, 3, 4] {
+            let m = SdlcMultiplier::new(8, depth).unwrap();
+            let matrix = ReducedMatrix::from_multiplier(&m);
+            let mut seen = std::collections::HashSet::new();
+            for row in matrix.rows() {
+                for (w, bit) in row.bits() {
+                    for (j, k) in bit.dots() {
+                        assert_eq!(j + k, *w, "dot ({j},{k}) at wrong weight {w}");
+                        assert!(seen.insert((j, k)), "dot ({j},{k}) duplicated");
+                    }
+                }
+            }
+            assert_eq!(seen.len(), 64, "all 64 dots accounted for");
+        }
+    }
+
+    #[test]
+    fn fullor_merges_every_aligned_group() {
+        let m = SdlcMultiplier::with_variant(8, 2, ClusterVariant::FullOr).unwrap();
+        let matrix = ReducedMatrix::from_multiplier(&m);
+        // With no tails, every multi-dot column of a group is compressed;
+        // total compressed bits: pair i has N−1 overlapping columns → 4 × 7.
+        assert_eq!(matrix.compressed_bit_count(), 28);
+    }
+
+    #[test]
+    fn render_shapes() {
+        let m = SdlcMultiplier::new(8, 2).unwrap();
+        let matrix = ReducedMatrix::from_multiplier(&m);
+        let text = matrix.render();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains('o') && text.contains('·'));
+        let full = render_full_matrix(8);
+        assert_eq!(full.lines().count(), 8);
+        assert_eq!(full.matches('·').count(), 64);
+        assert_eq!(matrix.to_string(), text);
+    }
+
+    #[test]
+    fn compressed_bits_list_their_sources() {
+        let m = SdlcMultiplier::new(4, 2).unwrap();
+        let matrix = ReducedMatrix::from_multiplier(&m);
+        // Weight 1 of row 0 merges (1,0) and (0,1).
+        let (_, bit) = matrix.rows()[0]
+            .bits()
+            .iter()
+            .find(|&&(w, _)| w == 1)
+            .expect("weight-1 bit exists");
+        assert_eq!(bit.dots(), vec![(1, 0), (0, 1)]);
+        assert!(bit.is_compressed());
+        assert!(bit.evaluate(0b0001, 0b0010)); // A0·B1
+        assert!(!bit.evaluate(0b0001, 0b0001)); // only A0·B0 at weight 0
+    }
+}

@@ -1,0 +1,230 @@
+//! The [`Multiplier`] abstraction shared by the SDLC design, the accurate
+//! reference and every baseline, plus the accurate reference itself.
+
+use core::fmt;
+
+use sdlc_wideint::U256;
+
+/// Maximum supported operand width in bits (128×128 → 256-bit products).
+pub const MAX_WIDTH: u32 = 128;
+
+/// Error returned when constructing a multiplier with an unsupported
+/// parameterization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// Width outside `2..=128` or odd in a scheme that needs even widths.
+    Width {
+        /// The rejected width.
+        width: u32,
+        /// Human-readable constraint violated.
+        requirement: &'static str,
+    },
+    /// Cluster depth outside the supported range for the given width.
+    Depth {
+        /// The rejected depth.
+        depth: u32,
+        /// Human-readable constraint violated.
+        requirement: &'static str,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Width { width, requirement } => {
+                write!(f, "unsupported width {width}: {requirement}")
+            }
+            SpecError::Depth { depth, requirement } => {
+                write!(f, "unsupported cluster depth {depth}: {requirement}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A combinational N×N unsigned multiplier model.
+///
+/// Implementations must be pure functions of their operands. Operands are
+/// passed as `u128` (every supported width fits) and products are returned
+/// as [`U256`] so no width silently truncates. The `multiply_u64` fast path
+/// serves exhaustive error sweeps for widths up to 32 bits.
+///
+/// # Examples
+///
+/// ```
+/// use sdlc_core::{AccurateMultiplier, Multiplier};
+///
+/// let m = AccurateMultiplier::new(16)?;
+/// assert_eq!(m.multiply_u64(65_535, 65_535), 65_535u128 * 65_535);
+/// # Ok::<(), sdlc_core::SpecError>(())
+/// ```
+pub trait Multiplier {
+    /// Operand width N in bits.
+    fn width(&self) -> u32;
+
+    /// Stable human-readable identifier used in reports
+    /// (e.g. `"sdlc8_d2"`, `"accurate16"`).
+    fn name(&self) -> String;
+
+    /// Computes the (possibly approximate) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand does not fit in [`Multiplier::width`] bits.
+    fn multiply(&self, a: u128, b: u128) -> U256;
+
+    /// Fast-path product for widths ≤ 32 bits (product fits `u128`).
+    ///
+    /// The default implementation routes through [`Multiplier::multiply`];
+    /// performance-sensitive models override it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width exceeds 32 bits or an operand does not fit.
+    fn multiply_u64(&self, a: u64, b: u64) -> u128 {
+        assert!(
+            self.width() <= 32,
+            "multiply_u64 supports widths up to 32 bits, got {}",
+            self.width()
+        );
+        self.multiply(u128::from(a), u128::from(b))
+            .to_u128()
+            .expect("product of <=32-bit operands fits in u128")
+    }
+
+    /// Largest exact product, `(2^N − 1)²` — the `Pmax` of the paper's
+    /// NMED definition.
+    fn max_product(&self) -> U256 {
+        let max_operand = operand_mask(self.width());
+        U256::from_u128(max_operand).wrapping_mul(&U256::from_u128(max_operand))
+    }
+}
+
+/// All-ones operand mask for an `N`-bit multiplier.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or exceeds [`MAX_WIDTH`].
+#[must_use]
+pub fn operand_mask(width: u32) -> u128 {
+    assert!((1..=MAX_WIDTH).contains(&width), "width {width} out of 1..=128");
+    if width == 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    }
+}
+
+/// Validates that an operand fits in `width` bits.
+pub(crate) fn check_operand(width: u32, operand: u128, which: &str) {
+    assert!(
+        operand <= operand_mask(width),
+        "{which} operand {operand:#x} does not fit in {width} bits"
+    );
+}
+
+/// Validates a width for the schemes used throughout the paper: even and
+/// within `2..=128` (partial-product pairing needs an even row count).
+pub(crate) fn check_width(width: u32) -> Result<u32, SpecError> {
+    if !(2..=MAX_WIDTH).contains(&width) {
+        return Err(SpecError::Width { width, requirement: "must be in 2..=128" });
+    }
+    if !width.is_multiple_of(2) {
+        return Err(SpecError::Width { width, requirement: "must be even" });
+    }
+    Ok(width)
+}
+
+/// The conventional exact multiplier: N² AND partial products accumulated
+/// without any compression. Serves as the golden reference for every error
+/// metric and as the "accurate" design point of the synthesis comparisons.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccurateMultiplier {
+    width: u32,
+}
+
+impl AccurateMultiplier {
+    /// Creates an exact `width × width` multiplier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] if the width is odd or outside `2..=128`.
+    pub fn new(width: u32) -> Result<Self, SpecError> {
+        Ok(Self { width: check_width(width)? })
+    }
+}
+
+impl Multiplier for AccurateMultiplier {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn name(&self) -> String {
+        format!("accurate{}", self.width)
+    }
+
+    fn multiply(&self, a: u128, b: u128) -> U256 {
+        check_operand(self.width, a, "left");
+        check_operand(self.width, b, "right");
+        U256::from_u128(a).wrapping_mul(&U256::from_u128(b))
+    }
+
+    fn multiply_u64(&self, a: u64, b: u64) -> u128 {
+        check_operand(self.width, u128::from(a), "left");
+        check_operand(self.width, u128::from(b), "right");
+        u128::from(a) * u128::from(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accurate_matches_primitive() {
+        let m = AccurateMultiplier::new(32).unwrap();
+        assert_eq!(m.multiply_u64(0xffff_ffff, 0xffff_ffff), 0xffff_ffffu128 * 0xffff_ffff);
+        assert_eq!(m.name(), "accurate32");
+        assert_eq!(m.width(), 32);
+    }
+
+    #[test]
+    fn accurate_128_bit_uses_wide_product() {
+        let m = AccurateMultiplier::new(128).unwrap();
+        let p = m.multiply(u128::MAX, u128::MAX);
+        // (2^128-1)^2 = 2^256 - 2^129 + 1 = (2^256 - 1) - 2^129 + 2
+        assert_eq!(p, (U256::MAX - (U256::from_u64(1) << 129)) + U256::from_u64(2));
+        assert_eq!(p, m.max_product());
+    }
+
+    #[test]
+    fn width_validation() {
+        assert!(AccurateMultiplier::new(0).is_err());
+        assert!(AccurateMultiplier::new(7).is_err());
+        assert!(AccurateMultiplier::new(130).is_err());
+        assert!(AccurateMultiplier::new(2).is_ok());
+        let err = AccurateMultiplier::new(5).unwrap_err();
+        assert!(err.to_string().contains("even"));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn operand_overflow_panics() {
+        let m = AccurateMultiplier::new(4).unwrap();
+        let _ = m.multiply(16, 1);
+    }
+
+    #[test]
+    fn operand_mask_edges() {
+        assert_eq!(operand_mask(1), 1);
+        assert_eq!(operand_mask(4), 0xf);
+        assert_eq!(operand_mask(128), u128::MAX);
+    }
+
+    #[test]
+    fn max_product_matches_formula() {
+        let m = AccurateMultiplier::new(8).unwrap();
+        assert_eq!(m.max_product(), U256::from_u64(255 * 255));
+    }
+}

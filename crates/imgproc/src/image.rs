@@ -1,0 +1,174 @@
+//! The 8-bit grayscale image container.
+
+/// An 8-bit grayscale image in row-major order.
+///
+/// # Examples
+///
+/// ```
+/// use sdlc_imgproc::GrayImage;
+///
+/// let img = GrayImage::from_fn(3, 2, |x, y| (x * 100 + y * 50) as u8);
+/// assert_eq!(img.get(2, 1), 250);
+/// assert_eq!(img.dimensions(), (3, 2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GrayImage {
+    width: u32,
+    height: u32,
+    data: Vec<u8>,
+}
+
+impl GrayImage {
+    /// Creates a black image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        Self { width, height, data: vec![0; (width * height) as usize] }
+    }
+
+    /// Builds an image from a pixel function `(x, y) → value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn from_fn(width: u32, height: u32, mut f: impl FnMut(u32, u32) -> u8) -> Self {
+        let mut image = Self::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                image.set(x, y, f(x, y));
+            }
+        }
+        image
+    }
+
+    /// Wraps raw row-major pixel data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width × height` or a dimension is zero.
+    #[must_use]
+    pub fn from_raw(width: u32, height: u32, data: Vec<u8>) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        assert_eq!(data.len(), (width * height) as usize, "pixel count mismatch");
+        Self { width, height, data }
+    }
+
+    /// Image width in pixels.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[must_use]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// `(width, height)`.
+    #[must_use]
+    pub fn dimensions(&self) -> (u32, u32) {
+        (self.width, self.height)
+    }
+
+    /// Reads pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn get(&self, x: u32, y: u32) -> u8 {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.data[(y * self.width + x) as usize]
+    }
+
+    /// Reads with clamped (edge-replicating) coordinates — the border
+    /// policy of the convolution.
+    #[must_use]
+    pub fn get_clamped(&self, x: i64, y: i64) -> u8 {
+        let cx = x.clamp(0, i64::from(self.width) - 1) as u32;
+        let cy = y.clamp(0, i64::from(self.height) - 1) as u32;
+        self.get(cx, cy)
+    }
+
+    /// Writes pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, x: u32, y: u32, value: u8) {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.data[(y * self.width + x) as usize] = value;
+    }
+
+    /// Row-major pixel slice.
+    #[must_use]
+    pub fn pixels(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Pixel intensity histogram (256 bins).
+    #[must_use]
+    pub fn histogram(&self) -> [u64; 256] {
+        let mut bins = [0u64; 256];
+        for &p in &self.data {
+            bins[p as usize] += 1;
+        }
+        bins
+    }
+
+    /// Mean pixel intensity.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.data.iter().map(|&p| f64::from(p)).sum::<f64>() / self.data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut img = GrayImage::new(4, 3);
+        assert_eq!(img.dimensions(), (4, 3));
+        assert_eq!(img.get(0, 0), 0);
+        img.set(3, 2, 200);
+        assert_eq!(img.get(3, 2), 200);
+        assert_eq!(img.pixels().len(), 12);
+    }
+
+    #[test]
+    fn clamped_reads_replicate_edges() {
+        let img = GrayImage::from_fn(3, 3, |x, y| (x + 10 * y) as u8);
+        assert_eq!(img.get_clamped(-1, -1), img.get(0, 0));
+        assert_eq!(img.get_clamped(5, 1), img.get(2, 1));
+        assert_eq!(img.get_clamped(1, 7), img.get(1, 2));
+    }
+
+    #[test]
+    fn histogram_and_mean() {
+        let img = GrayImage::from_fn(2, 2, |x, y| if x == 0 && y == 0 { 255 } else { 0 });
+        let hist = img.histogram();
+        assert_eq!(hist[255], 1);
+        assert_eq!(hist[0], 3);
+        assert!((img.mean() - 63.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_get_panics() {
+        let _ = GrayImage::new(2, 2).get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel count mismatch")]
+    fn bad_raw_length_panics() {
+        let _ = GrayImage::from_raw(2, 2, vec![0; 3]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Procedural test scenes.
+//!
+//! The paper's 200×200 photograph is not redistributable, so the case
+//! study runs on synthetic scenes. PSNR in Figure 8 is measured against
+//! the *exact-multiplier* blur of the same input, making the comparison
+//! internally consistent for any input; these generators are designed to
+//! exercise the full 8-bit intensity range, sharp edges (checkerboard,
+//! bars), smooth ramps (gradient) and natural-image-like blobs.
+
+use sdlc_wideint::SplitMix64;
+
+use crate::image::GrayImage;
+
+/// Diagonal linear gradient covering the full 0–255 range.
+#[must_use]
+pub fn gradient(width: u32, height: u32) -> GrayImage {
+    GrayImage::from_fn(width, height, |x, y| {
+        ((u64::from(x) + u64::from(y)) * 255 / u64::from(width + height - 2).max(1)) as u8
+    })
+}
+
+/// Checkerboard with `cell` px squares — the harshest high-frequency test.
+///
+/// # Panics
+///
+/// Panics if `cell == 0`.
+#[must_use]
+pub fn checkerboard(width: u32, height: u32, cell: u32) -> GrayImage {
+    assert!(cell > 0, "cell size must be positive");
+    GrayImage::from_fn(width, height, |x, y| {
+        if ((x / cell) + (y / cell)).is_multiple_of(2) {
+            230
+        } else {
+            25
+        }
+    })
+}
+
+/// Vertical bars of doubling width — a frequency sweep.
+#[must_use]
+pub fn bars(width: u32, height: u32) -> GrayImage {
+    GrayImage::from_fn(width, height, |x, _| {
+        let band = 1 + x / 8;
+        if (x / band) % 2 == 0 {
+            210
+        } else {
+            40
+        }
+    })
+}
+
+/// Soft Gaussian blobs on a gradient background — the "photo-like" scene
+/// used by the Figure 8 bench (deterministic in `seed`).
+#[must_use]
+pub fn blobs(width: u32, height: u32, seed: u64) -> GrayImage {
+    let mut rng = SplitMix64::new(seed);
+    let count = 3 + (rng.next_below(5) as usize);
+    let blobs: Vec<(f64, f64, f64, f64)> = (0..count)
+        .map(|_| {
+            let cx = rng.next_f64() * f64::from(width);
+            let cy = rng.next_f64() * f64::from(height);
+            let radius = (0.08 + 0.17 * rng.next_f64()) * f64::from(width.min(height));
+            let amplitude = 80.0 + rng.next_f64() * 150.0;
+            (cx, cy, radius, amplitude)
+        })
+        .collect();
+    GrayImage::from_fn(width, height, |x, y| {
+        let mut v = 20.0 + 60.0 * f64::from(x + y) / f64::from(width + height);
+        for &(cx, cy, radius, amplitude) in &blobs {
+            let d2 = (f64::from(x) - cx).powi(2) + (f64::from(y) - cy).powi(2);
+            v += amplitude * (-d2 / (2.0 * radius * radius)).exp();
+        }
+        v.clamp(0.0, 255.0) as u8
+    })
+}
+
+/// Uniform random noise (deterministic in `seed`) — the worst case for
+/// any activity assumption.
+#[must_use]
+pub fn noise(width: u32, height: u32, seed: u64) -> GrayImage {
+    let mut rng = SplitMix64::new(seed);
+    GrayImage::from_fn(width, height, |_, _| rng.next_below(256) as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradient_spans_range() {
+        let img = gradient(64, 64);
+        assert_eq!(img.get(0, 0), 0);
+        assert_eq!(img.get(63, 63), 255);
+    }
+
+    #[test]
+    fn checkerboard_alternates() {
+        let img = checkerboard(8, 8, 2);
+        assert_ne!(img.get(0, 0), img.get(2, 0));
+        assert_eq!(img.get(0, 0), img.get(2, 2));
+    }
+
+    #[test]
+    fn blobs_are_deterministic_and_varied() {
+        let a = blobs(32, 32, 5);
+        let b = blobs(32, 32, 5);
+        let c = blobs(32, 32, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let hist = a.histogram();
+        let nonzero_bins = hist.iter().filter(|&&h| h > 0).count();
+        assert!(nonzero_bins > 30, "blob scene should be tonally rich");
+    }
+
+    #[test]
+    fn noise_has_high_entropy() {
+        let img = noise(64, 64, 1);
+        let hist = img.histogram();
+        let populated = hist.iter().filter(|&&h| h > 0).count();
+        assert!(populated > 200, "only {populated} intensity levels used");
+    }
+
+    #[test]
+    fn bars_have_two_levels() {
+        let img = bars(64, 16);
+        for &p in img.pixels() {
+            assert!(p == 210 || p == 40);
+        }
+    }
+}

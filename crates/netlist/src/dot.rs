@@ -1,0 +1,76 @@
+//! Graphviz DOT export for visual netlist inspection.
+
+use std::fmt::Write as _;
+
+use crate::ir::{GateKind, Netlist};
+
+/// Renders the netlist as a Graphviz `digraph` (one node per gate, one
+/// edge per pin connection; primary inputs as diamonds, outputs marked
+/// with double circles).
+///
+/// # Examples
+///
+/// ```
+/// use sdlc_netlist::{to_dot, Netlist};
+///
+/// let mut n = Netlist::new("g");
+/// let a = n.add_input("a");
+/// let b = n.add_input("b");
+/// let y = n.and2(a, b);
+/// n.set_output_bus("y", vec![y]);
+/// let dot = to_dot(&n);
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("AND2"));
+/// ```
+#[must_use]
+pub fn to_dot(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", netlist.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    let outputs: std::collections::HashSet<_> = netlist.outputs().iter().collect();
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        let shape = match gate.kind {
+            GateKind::Input => "diamond",
+            GateKind::Const0 | GateKind::Const1 => "plaintext",
+            _ => "box",
+        };
+        let peripheries = if outputs.contains(&gate.output) { 2 } else { 1 };
+        let _ = writeln!(
+            out,
+            "  g{i} [label=\"{}\\n{}\" shape={shape} peripheries={peripheries}];",
+            gate.kind.cell_name(),
+            gate.output,
+        );
+    }
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        for &input in &gate.inputs {
+            if let Some(driver) = netlist.driver_of(input) {
+                let _ = writeln!(out, "  g{driver} -> g{i};");
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut n = Netlist::new("dotty");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let x = n.xor2(a, b);
+        let y = n.not(x);
+        n.set_output_bus("y", vec![y]);
+        let dot = to_dot(&n);
+        assert!(dot.contains("digraph \"dotty\""));
+        assert!(dot.contains("XOR2"));
+        assert!(dot.contains("INV"));
+        assert!(dot.contains("->"));
+        assert!(dot.contains("peripheries=2"), "output node is marked");
+        assert_eq!(dot.matches("->").count(), 3); // 2 XOR pins + 1 INV pin
+    }
+}

@@ -1,0 +1,42 @@
+//! Gate-level netlist IR and structural generators.
+//!
+//! This crate stands in for the SystemVerilog structural RTL of the paper:
+//! multiplier architectures are emitted directly as directed acyclic graphs
+//! of technology-mappable gates (2-input AND/OR/NAND/NOR/XOR/XNOR, inverter,
+//! buffer, 2:1 mux and constants). The companion crates provide the
+//! standard-cell models (`sdlc-techlib`), simulation (`sdlc-sim`) and the
+//! timing/area/power flow (`sdlc-synth`).
+//!
+//! # Construction discipline
+//!
+//! A [`Netlist`] is built strictly feed-forward: every gate's inputs must
+//! already exist when the gate is added, so the gate list is a topological
+//! order *by construction* and combinational loops are unrepresentable.
+//! This keeps simulation and static timing to a single forward pass.
+//!
+//! ```
+//! use sdlc_netlist::{GateKind, Netlist};
+//!
+//! let mut n = Netlist::new("toy");
+//! let a = n.add_input_bus("a", 2);
+//! let b = n.add_input_bus("b", 2);
+//! let lo = n.and2(a[0], b[0]);
+//! let hi = n.and2(a[1], b[1]);
+//! let any = n.or2(lo, hi);
+//! n.set_output_bus("y", vec![any]);
+//! assert_eq!(n.gate_count(GateKind::And2), 2);
+//! n.validate().expect("well-formed");
+//! ```
+
+pub mod adders;
+mod dot;
+mod ir;
+pub mod passes;
+pub mod reduce;
+mod stats;
+mod verilog;
+
+pub use dot::to_dot;
+pub use ir::{Gate, GateKind, NetId, Netlist, ValidateError};
+pub use stats::NetlistStats;
+pub use verilog::to_verilog;

@@ -1,0 +1,98 @@
+//! Netlist composition statistics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::ir::{GateKind, Netlist};
+
+/// A per-kind gate census with derived totals.
+///
+/// # Examples
+///
+/// ```
+/// use sdlc_netlist::{Netlist, NetlistStats};
+///
+/// let mut n = Netlist::new("x");
+/// let a = n.add_input("a");
+/// let b = n.add_input("b");
+/// let y = n.and2(a, b);
+/// n.set_output_bus("y", vec![y]);
+/// let stats = NetlistStats::of(&n);
+/// assert_eq!(stats.cells, 1);
+/// assert_eq!(stats.nets, 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Design name.
+    pub name: String,
+    /// Gate count per kind (including `Input`).
+    pub by_kind: BTreeMap<GateKind, usize>,
+    /// Logic cells (everything but `Input`).
+    pub cells: usize,
+    /// Total nets.
+    pub nets: usize,
+    /// Primary inputs / outputs.
+    pub ports: (usize, usize),
+}
+
+impl NetlistStats {
+    /// Collects statistics from a netlist.
+    #[must_use]
+    pub fn of(netlist: &Netlist) -> Self {
+        let mut by_kind = BTreeMap::new();
+        for gate in netlist.gates() {
+            *by_kind.entry(gate.kind).or_insert(0) += 1;
+        }
+        Self {
+            name: netlist.name().to_string(),
+            by_kind,
+            cells: netlist.cell_count(),
+            nets: netlist.net_count(),
+            ports: (netlist.inputs().len(), netlist.outputs().len()),
+        }
+    }
+
+    /// Count for one kind (0 when absent).
+    #[must_use]
+    pub fn count(&self, kind: GateKind) -> usize {
+        self.by_kind.get(&kind).copied().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "design {}: {} cells, {} nets, {}/{} ports", self.name, self.cells, self.nets, self.ports.0, self.ports.1)?;
+        for (&kind, &count) in &self.by_kind {
+            if kind != GateKind::Input && count > 0 {
+                writeln!(f, "  {:6} {count}", kind.cell_name())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_counts_each_kind() {
+        let mut n = Netlist::new("census");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let x = n.and2(a, b);
+        let y = n.and2(x, a);
+        let z = n.xor2(y, b);
+        n.set_output_bus("z", vec![z]);
+        let stats = NetlistStats::of(&n);
+        assert_eq!(stats.count(GateKind::And2), 2);
+        assert_eq!(stats.count(GateKind::Xor2), 1);
+        assert_eq!(stats.count(GateKind::Input), 2);
+        assert_eq!(stats.count(GateKind::Mux2), 0);
+        assert_eq!(stats.cells, 3);
+        assert_eq!(stats.ports, (2, 1));
+        let text = stats.to_string();
+        assert!(text.contains("AND2"));
+        assert!(text.contains("3 cells"));
+    }
+}

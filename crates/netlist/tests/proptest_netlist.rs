@@ -1,0 +1,154 @@
+//! Property-based tests over randomly shaped netlists: structural
+//! invariants, pass equivalence and export consistency.
+
+use proptest::prelude::*;
+use sdlc_netlist::adders::{ripple_add, ripple_add_shifted};
+use sdlc_netlist::reduce::{accumulate_rows_ripple, carry_save, dadda, rows_to_columns, wallace, RowBits};
+use sdlc_netlist::{passes, to_verilog, GateKind, NetId, Netlist, NetlistStats};
+
+/// Local interpreter (the netlist crate has no simulator dependency).
+fn eval(n: &Netlist, stimulus: &[bool]) -> Vec<bool> {
+    let mut values = vec![false; n.net_count()];
+    let mut inputs = stimulus.iter();
+    for gate in n.gates() {
+        values[gate.output.index()] = match gate.kind {
+            GateKind::Input => *inputs.next().expect("stimulus covers inputs"),
+            kind => {
+                let pins: Vec<bool> = gate.inputs.iter().map(|i| values[i.index()]).collect();
+                kind.evaluate(&pins)
+            }
+        };
+    }
+    n.outputs().iter().map(|o| values[o.index()]).collect()
+}
+
+fn read(bits: &[bool]) -> u64 {
+    bits.iter().enumerate().map(|(i, &b)| u64::from(b) << i).sum()
+}
+
+fn drive(width: usize, a: u64, b: u64) -> Vec<bool> {
+    (0..width)
+        .map(|i| (a >> i) & 1 == 1)
+        .chain((0..width).map(|i| (b >> i) & 1 == 1))
+        .collect()
+}
+
+proptest! {
+    /// Adders of any width/shift compute a + (b << shift).
+    #[test]
+    fn shifted_adders_are_correct(width in 1usize..10, shift in 0usize..12,
+                                  a in any::<u64>(), b in any::<u64>()) {
+        let mask = (1u64 << width) - 1;
+        let (a, b) = (a & mask, b & mask);
+        let mut n = Netlist::new("add");
+        let ia = n.add_input_bus("a", width as u32);
+        let ib = n.add_input_bus("b", width as u32);
+        let s = ripple_add_shifted(&mut n, &ia, &ib, shift);
+        n.set_output_bus("p", s);
+        n.validate().unwrap();
+        let out = eval(&n, &drive(width, a, b));
+        prop_assert_eq!(read(&out), a + (b << shift));
+    }
+
+    /// Every reduction scheme computes the same sum of shifted rows.
+    #[test]
+    fn reduction_schemes_agree(widths in prop::collection::vec((1usize..6, 0usize..6), 1..5),
+                               values in prop::collection::vec(any::<u64>(), 4)) {
+        // Build rows from input buses with assorted widths and offsets.
+        let build = |f: &dyn Fn(&mut Netlist, &[RowBits]) -> Vec<NetId>| -> Netlist {
+            let mut n = Netlist::new("r");
+            let mut rows = Vec::new();
+            for (i, &(w, off)) in widths.iter().enumerate() {
+                let bus = n.add_input_bus(&format!("in{i}"), w as u32);
+                rows.push(RowBits { offset: off, bits: bus });
+            }
+            let out = f(&mut n, &rows);
+            n.set_output_bus("p", out);
+            n
+        };
+        let total_width: usize = widths.iter().map(|&(w, off)| w + off).max().unwrap() + 4;
+        let schemes: Vec<Netlist> = vec![
+            build(&|n, rows| accumulate_rows_ripple(n, rows)),
+            build(&|n, rows| carry_save(n, rows)),
+            build(&|n, rows| wallace(n, rows_to_columns(rows, total_width + 4))),
+            build(&|n, rows| dadda(n, rows_to_columns(rows, total_width + 4))),
+        ];
+        // Expected: sum of (value << offset) over rows.
+        let mut stimulus = Vec::new();
+        let mut expect: u64 = 0;
+        for (&(w, off), &v) in widths.iter().zip(values.iter().cycle()) {
+            let masked = v & ((1u64 << w) - 1);
+            expect += masked << off;
+            stimulus.extend((0..w).map(|i| (masked >> i) & 1 == 1));
+        }
+        for n in &schemes {
+            n.validate().unwrap();
+            let out = eval(n, &stimulus);
+            prop_assert_eq!(read(&out), expect, "{}", n.name());
+        }
+    }
+
+    /// optimize() preserves I/O behaviour on random DAGs with constants.
+    #[test]
+    fn optimize_is_equivalence_preserving(ops in prop::collection::vec((0u8..8, any::<u16>()), 10..60),
+                                          vectors in prop::collection::vec(any::<u8>(), 8)) {
+        let mut n = Netlist::new("rand");
+        let inputs = n.add_input_bus("in", 8);
+        let mut nets = inputs.clone();
+        let zero = n.const0();
+        let one = n.const1();
+        nets.push(zero);
+        nets.push(one);
+        for &(op, pick) in &ops {
+            let a = nets[pick as usize % nets.len()];
+            let b = nets[(pick / 251) as usize % nets.len()];
+            let c = nets[(pick / 67) as usize % nets.len()];
+            let out = match op {
+                0 => n.and2(a, b),
+                1 => n.or2(a, b),
+                2 => n.xor2(a, b),
+                3 => n.nand2(a, b),
+                4 => n.nor2(a, b),
+                5 => n.not(a),
+                6 => n.buf(a),
+                _ => n.mux2(a, b, c),
+            };
+            nets.push(out);
+        }
+        let outs: Vec<NetId> = nets[nets.len().saturating_sub(6)..].to_vec();
+        n.set_output_bus("out", outs);
+        let mut optimized = n.clone();
+        passes::optimize(&mut optimized);
+        optimized.validate().unwrap();
+        prop_assert!(optimized.cell_count() <= n.cell_count());
+        for &v in &vectors {
+            let stim: Vec<bool> = (0..8).map(|i| (v >> i) & 1 == 1).collect();
+            prop_assert_eq!(eval(&n, &stim), eval(&optimized, &stim));
+        }
+    }
+
+    /// The Verilog exporter emits exactly one construct per logic cell and
+    /// the stats census is internally consistent.
+    #[test]
+    fn verilog_and_stats_are_consistent(width in 1u32..8) {
+        let mut n = Netlist::new("v");
+        let a = n.add_input_bus("a", width);
+        let b = n.add_input_bus("b", width);
+        let s = ripple_add(&mut n, &a, &b);
+        n.set_output_bus("p", s);
+        let stats = NetlistStats::of(&n);
+        let total: usize = GateKind::all().iter().map(|&k| stats.count(k)).sum();
+        prop_assert_eq!(total, n.gates().len());
+        prop_assert_eq!(stats.cells + stats.count(GateKind::Input), total);
+        let verilog = to_verilog(&n);
+        let constructs = verilog
+            .lines()
+            .filter(|l| {
+                let t = l.trim_start();
+                ["and", "or ", "nand", "nor", "xor", "xnor", "not", "buf"]
+                    .iter().any(|p| t.starts_with(p)) || t.starts_with("assign")
+            })
+            .count();
+        prop_assert_eq!(constructs, stats.cells);
+    }
+}

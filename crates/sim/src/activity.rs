@@ -1,0 +1,228 @@
+//! Switching-activity capture over seeded random stimulus.
+//!
+//! Dynamic power estimation needs per-net toggle statistics under a
+//! representative workload. [`random_activity`] drives a netlist with a
+//! deterministic uniform stream (the paper's setting: operands drawn
+//! uniformly, as in its exhaustive error analysis) through the bit-parallel
+//! engine; [`timing_activity`] does the same through the event-driven
+//! engine to include glitch power (practical up to mid-size multipliers).
+
+use sdlc_netlist::Netlist;
+use sdlc_techlib::Library;
+use sdlc_wideint::SplitMix64;
+
+use crate::logic::ab_stimulus;
+use crate::parallel::BitParallelSim;
+use crate::timing::TimingSim;
+
+/// Per-net switching activity of one stimulus run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Activity {
+    /// Toggle count per net (indexed by `NetId::index`).
+    pub toggles_per_net: Vec<u64>,
+    /// Number of input-vector *transitions* the counts cover.
+    pub transition_count: u64,
+    /// Whether glitches are included (event-driven engine).
+    pub includes_glitches: bool,
+}
+
+impl Activity {
+    /// Total toggles across all nets.
+    #[must_use]
+    pub fn total_toggles(&self) -> u64 {
+        self.toggles_per_net.iter().sum()
+    }
+
+    /// Mean toggles per net per applied transition.
+    #[must_use]
+    pub fn mean_activity(&self) -> f64 {
+        if self.transition_count == 0 || self.toggles_per_net.is_empty() {
+            return 0.0;
+        }
+        self.total_toggles() as f64
+            / (self.transition_count as f64 * self.toggles_per_net.len() as f64)
+    }
+}
+
+/// Runs `vectors` uniformly random input vectors (rounded up to a multiple
+/// of 64) through the bit-parallel zero-delay engine.
+///
+/// Deterministic in `(netlist, seed, vectors)`.
+///
+/// # Panics
+///
+/// Panics if `vectors == 0`.
+#[must_use]
+pub fn random_activity(netlist: &Netlist, seed: u64, vectors: u64) -> Activity {
+    assert!(vectors > 0, "need at least one vector");
+    let words = vectors.div_ceil(64) + 1; // +1: first word establishes state
+    let mut rng = SplitMix64::new(seed);
+    let mut sim = BitParallelSim::new(netlist);
+    let width = netlist.inputs().len();
+    for _ in 0..words {
+        let stimulus: Vec<u64> = (0..width).map(|_| rng.next_u64()).collect();
+        sim.apply(&stimulus);
+    }
+    Activity {
+        toggles_per_net: sim.toggles().to_vec(),
+        transition_count: sim.transition_vectors(),
+        includes_glitches: false,
+    }
+}
+
+/// Runs `vectors` random operand pairs through the event-driven timing
+/// engine (glitches included). Requires the `a`/`b`/`p` port convention.
+///
+/// The stimulus stream is split into 16 fixed shards simulated on worker
+/// threads (each shard settles on its own first pair, uncounted), so
+/// results are deterministic in `(netlist, seed, vectors)` and
+/// independent of the machine's core count.
+///
+/// # Panics
+///
+/// Panics if `vectors == 0` or the netlist lacks `a`/`b` buses.
+#[must_use]
+pub fn timing_activity(
+    netlist: &Netlist,
+    library: &Library,
+    seed: u64,
+    vectors: u64,
+) -> Activity {
+    assert!(vectors > 0, "need at least one vector");
+    let bus_a = netlist.bus("a").expect("input bus `a`").len() as u32;
+    let bus_b = netlist.bus("b").expect("input bus `b`").len() as u32;
+    const SHARDS: u64 = 16;
+    let shards = SHARDS.min(vectors);
+    let per_shard = vectors.div_ceil(shards);
+    let draw = |bits: u32, rng: &mut SplitMix64| -> u128 {
+        if bits <= 64 {
+            u128::from(rng.next_bits(bits))
+        } else {
+            (u128::from(rng.next_bits(bits - 64)) << 64) | u128::from(rng.next_u64())
+        }
+    };
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let shard_ids: Vec<u64> = (0..shards).collect();
+    let chunk = shard_ids.len().div_ceil(threads).max(1);
+    let mut totals = vec![0u64; netlist.net_count()];
+    let mut counted = 0u64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shard_ids
+            .chunks(chunk)
+            .map(|ids| {
+                scope.spawn(move || {
+                    let mut toggles = vec![0u64; netlist.net_count()];
+                    let mut counted = 0u64;
+                    for &shard in ids {
+                        let begin = shard * per_shard;
+                        let end = (begin + per_shard).min(vectors);
+                        if begin >= end {
+                            continue;
+                        }
+                        let mut rng =
+                            SplitMix64::new(seed ^ shard.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                        let mut sim = TimingSim::new(netlist, library);
+                        let a0 = draw(bus_a, &mut rng);
+                        let b0 = draw(bus_b, &mut rng);
+                        sim.settle(&ab_stimulus(netlist, a0, b0));
+                        for _ in begin..end {
+                            let a = draw(bus_a, &mut rng);
+                            let b = draw(bus_b, &mut rng);
+                            let _ = sim.apply(&ab_stimulus(netlist, a, b));
+                        }
+                        counted += end - begin;
+                        for (total, &t) in toggles.iter_mut().zip(sim.toggles()) {
+                            *total += t;
+                        }
+                    }
+                    (toggles, counted)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (toggles, n) = handle.join().expect("worker panicked");
+            for (total, t) in totals.iter_mut().zip(toggles) {
+                *total += t;
+            }
+            counted += n;
+        }
+    });
+    Activity {
+        toggles_per_net: totals,
+        transition_count: counted,
+        includes_glitches: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdlc_netlist::adders::ripple_add;
+
+    fn adder(width: u32) -> Netlist {
+        let mut n = Netlist::new("adder");
+        let a = n.add_input_bus("a", width);
+        let b = n.add_input_bus("b", width);
+        let s = ripple_add(&mut n, &a, &b);
+        n.set_output_bus("p", s);
+        n
+    }
+
+    #[test]
+    fn random_activity_is_deterministic() {
+        let n = adder(8);
+        let a1 = random_activity(&n, 42, 256);
+        let a2 = random_activity(&n, 42, 256);
+        assert_eq!(a1, a2);
+        let a3 = random_activity(&n, 43, 256);
+        assert_ne!(a1.toggles_per_net, a3.toggles_per_net);
+    }
+
+    #[test]
+    fn uniform_inputs_toggle_about_half_the_time() {
+        let n = adder(8);
+        let activity = random_activity(&n, 7, 6400);
+        let inputs = n.inputs();
+        for &input in inputs {
+            let rate =
+                activity.toggles_per_net[input.index()] as f64 / activity.transition_count as f64;
+            assert!((0.42..0.58).contains(&rate), "input toggle rate {rate}");
+        }
+        assert!(activity.mean_activity() > 0.1);
+        assert!(!activity.includes_glitches);
+    }
+
+    #[test]
+    fn timing_activity_includes_glitches() {
+        let n = adder(8);
+        let lib = Library::generic_90nm();
+        let zero_delay = random_activity(&n, 11, 512);
+        let timed = timing_activity(&n, &lib, 11, 512);
+        assert!(timed.includes_glitches);
+        // Same per-transition scale: compare mean activity; glitching can
+        // only add transitions.
+        assert!(timed.mean_activity() >= zero_delay.mean_activity() * 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vector")]
+    fn zero_vectors_rejected() {
+        let n = adder(4);
+        let _ = random_activity(&n, 1, 0);
+    }
+
+    #[test]
+    fn timing_activity_is_deterministic_and_counts_all_vectors() {
+        let n = adder(8);
+        let lib = Library::generic_90nm();
+        let a1 = timing_activity(&n, &lib, 3, 100);
+        let a2 = timing_activity(&n, &lib, 3, 100);
+        assert_eq!(a1, a2);
+        assert!(a1.transition_count >= 100);
+        let other_seed = timing_activity(&n, &lib, 4, 100);
+        assert_ne!(a1.toggles_per_net, other_seed.toggles_per_net);
+        // Tiny runs (fewer vectors than shards) still work.
+        let tiny = timing_activity(&n, &lib, 5, 3);
+        assert_eq!(tiny.transition_count, 3);
+    }
+}

@@ -1,0 +1,27 @@
+//! Gate-level logic simulation (the reproduction's stand-in for QuestaSim).
+//!
+//! Three engines share the netlist IR:
+//!
+//! * [`LogicSim`] — scalar levelized zero-delay simulation with per-net
+//!   toggle counting; the reference engine and the workhorse of
+//!   equivalence checks.
+//! * [`BitParallelSim`] — 64 independent stimulus lanes per machine word;
+//!   the fast path for switching-activity estimation on large multipliers.
+//! * [`TimingSim`] — event-driven simulation with per-gate load-dependent
+//!   delays from `sdlc-techlib`; observes *glitches* (spurious transitions
+//!   inside a cycle) that zero-delay simulation cannot, and reports settle
+//!   times that cross-check static timing analysis.
+//!
+//! [`activity`] drives any engine over seeded random vector streams and
+//! aggregates per-net toggle statistics for the power model in
+//! `sdlc-synth`; [`equiv`] checks netlists against functional models.
+
+pub mod activity;
+pub mod equiv;
+mod logic;
+mod parallel;
+mod timing;
+
+pub use logic::{ab_stimulus, LogicSim};
+pub use parallel::BitParallelSim;
+pub use timing::{ApplyResult, TimingSim};

@@ -1,0 +1,181 @@
+//! 64-lane bit-parallel simulator for fast switching-activity estimation.
+
+use sdlc_netlist::{GateKind, Netlist};
+
+/// Bit-parallel levelized simulator: each net carries a 64-bit word whose
+/// lane `i` is an independent stimulus stream. One sweep evaluates 64
+/// vectors, making large-multiplier activity estimation ~50× faster than
+/// the scalar engine.
+///
+/// Toggle accounting matches [`crate::LogicSim`] lane-wise: lane `i`'s
+/// transitions between its consecutive vectors accumulate via popcounts of
+/// `old ^ new`.
+#[derive(Debug, Clone)]
+pub struct BitParallelSim<'n> {
+    netlist: &'n Netlist,
+    values: Vec<u64>,
+    toggles: Vec<u64>,
+    words_applied: u64,
+}
+
+impl<'n> BitParallelSim<'n> {
+    /// Creates a simulator with all lanes at 0.
+    #[must_use]
+    pub fn new(netlist: &'n Netlist) -> Self {
+        Self {
+            netlist,
+            values: vec![0; netlist.net_count()],
+            toggles: vec![0; netlist.net_count()],
+            words_applied: 0,
+        }
+    }
+
+    /// Applies one stimulus word per primary input (lane `i` of every word
+    /// forms vector stream `i`) and settles all lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stimulus length differs from the input count.
+    pub fn apply(&mut self, stimulus: &[u64]) {
+        let inputs = self.netlist.inputs();
+        assert_eq!(stimulus.len(), inputs.len(), "stimulus width mismatch");
+        let first = self.words_applied == 0;
+        let mut input_iter = stimulus.iter();
+        for gate in self.netlist.gates() {
+            let new = match gate.kind {
+                GateKind::Input => *input_iter.next().expect("one word per input"),
+                GateKind::Const0 => 0,
+                GateKind::Const1 => u64::MAX,
+                GateKind::Buf => self.values[gate.inputs[0].index()],
+                GateKind::Not => !self.values[gate.inputs[0].index()],
+                GateKind::And2 => {
+                    self.values[gate.inputs[0].index()] & self.values[gate.inputs[1].index()]
+                }
+                GateKind::Or2 => {
+                    self.values[gate.inputs[0].index()] | self.values[gate.inputs[1].index()]
+                }
+                GateKind::Nand2 => {
+                    !(self.values[gate.inputs[0].index()] & self.values[gate.inputs[1].index()])
+                }
+                GateKind::Nor2 => {
+                    !(self.values[gate.inputs[0].index()] | self.values[gate.inputs[1].index()])
+                }
+                GateKind::Xor2 => {
+                    self.values[gate.inputs[0].index()] ^ self.values[gate.inputs[1].index()]
+                }
+                GateKind::Xnor2 => {
+                    !(self.values[gate.inputs[0].index()] ^ self.values[gate.inputs[1].index()])
+                }
+                GateKind::Mux2 => {
+                    let sel = self.values[gate.inputs[0].index()];
+                    let a = self.values[gate.inputs[1].index()];
+                    let b = self.values[gate.inputs[2].index()];
+                    (a & !sel) | (b & sel)
+                }
+            };
+            let slot = &mut self.values[gate.output.index()];
+            if !first {
+                self.toggles[gate.output.index()] += u64::from((*slot ^ new).count_ones());
+            }
+            *slot = new;
+        }
+        self.words_applied += 1;
+    }
+
+    /// Per-net toggle counts summed over all 64 lanes.
+    #[must_use]
+    pub fn toggles(&self) -> &[u64] {
+        &self.toggles
+    }
+
+    /// Number of stimulus words applied (each carrying 64 vectors).
+    #[must_use]
+    pub fn words_applied(&self) -> u64 {
+        self.words_applied
+    }
+
+    /// Total vectors that produced countable transitions:
+    /// `(words − 1) × 64` per the lane-wise convention.
+    #[must_use]
+    pub fn transition_vectors(&self) -> u64 {
+        self.words_applied.saturating_sub(1) * 64
+    }
+
+    /// Lane-`l` value of one net.
+    #[must_use]
+    pub fn lane_value(&self, net: sdlc_netlist::NetId, lane: u32) -> bool {
+        assert!(lane < 64);
+        (self.values[net.index()] >> lane) & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LogicSim;
+    use sdlc_wideint::SplitMix64;
+
+    /// Bit-parallel toggle totals must equal 64 scalar streams.
+    #[test]
+    fn matches_scalar_engine_on_adder() {
+        let mut n = Netlist::new("add4");
+        let a = n.add_input_bus("a", 4);
+        let b = n.add_input_bus("b", 4);
+        let s = sdlc_netlist::adders::ripple_add(&mut n, &a, &b);
+        n.set_output_bus("p", s);
+
+        // 64 lanes × 10 vectors of random stimulus.
+        let mut rng = SplitMix64::new(0xACDC);
+        let stream: Vec<Vec<u64>> =
+            (0..10).map(|_| (0..8).map(|_| rng.next_u64()).collect()).collect();
+
+        let mut parallel = BitParallelSim::new(&n);
+        for word in &stream {
+            parallel.apply(word);
+        }
+
+        // Scalar reference: lane by lane.
+        let mut scalar_totals = vec![0u64; n.net_count()];
+        for lane in 0..64u32 {
+            let mut sim = LogicSim::new(&n);
+            for word in &stream {
+                let stimulus: Vec<bool> =
+                    word.iter().map(|&w| (w >> lane) & 1 == 1).collect();
+                sim.apply(&stimulus);
+            }
+            for (total, &t) in scalar_totals.iter_mut().zip(sim.toggles()) {
+                *total += t;
+            }
+        }
+        assert_eq!(parallel.toggles(), scalar_totals.as_slice());
+        assert_eq!(parallel.transition_vectors(), 9 * 64);
+    }
+
+    #[test]
+    fn lane_values_decode() {
+        let mut n = Netlist::new("inv");
+        let a = n.add_input("a");
+        let y = n.not(a);
+        n.set_output_bus("y", vec![y]);
+        let mut sim = BitParallelSim::new(&n);
+        sim.apply(&[0b01]); // lane0 = 1, lane1 = 0
+        assert!(sim.lane_value(a, 0));
+        assert!(!sim.lane_value(a, 1));
+        assert!(!sim.lane_value(y, 0));
+        assert!(sim.lane_value(y, 1));
+    }
+
+    #[test]
+    fn constants_fill_lanes() {
+        let mut n = Netlist::new("c");
+        let a = n.add_input("a");
+        let one = n.const1();
+        let y = n.and2(a, one);
+        n.set_output_bus("y", vec![y]);
+        let mut sim = BitParallelSim::new(&n);
+        sim.apply(&[0xdead_beef]);
+        for lane in 0..32 {
+            assert_eq!(sim.lane_value(y, lane), (0xdead_beefu64 >> lane) & 1 == 1);
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Event-driven timing simulation with glitch observation.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use sdlc_netlist::{GateKind, NetId, Netlist};
+use sdlc_techlib::Library;
+
+/// Result of settling one input transition in the timing simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApplyResult {
+    /// Total net transitions observed (including glitches).
+    pub transitions: u64,
+    /// Time of the last transition, in ps — the dynamic settle time of
+    /// this particular vector pair (bounded above by the STA critical
+    /// path).
+    pub settle_ps: f64,
+}
+
+/// Event-driven two-valued simulator with an inertial-delay model: every
+/// input change re-evaluates the gate and schedules its output value after
+/// the gate's load-dependent delay; a scheduled value that no longer
+/// matches the gate's evaluation at fire time is cancelled (pulses shorter
+/// than the gate delay are filtered, as real cells do). Spurious
+/// intermediate transitions — glitches — remain visible, unlike in the
+/// zero-delay engines.
+#[derive(Debug, Clone)]
+pub struct TimingSim<'n> {
+    netlist: &'n Netlist,
+    /// Delay per gate, precomputed from the library and fanout loads.
+    gate_delay_ps: Vec<f64>,
+    /// Fanout gate indices per net.
+    fanout: Vec<Vec<usize>>,
+    values: Vec<bool>,
+    toggles: Vec<u64>,
+    settled_once: bool,
+}
+
+impl<'n> TimingSim<'n> {
+    /// Builds the simulator, precomputing per-gate delays against the
+    /// library's load model.
+    #[must_use]
+    pub fn new(netlist: &'n Netlist, library: &Library) -> Self {
+        let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); netlist.net_count()];
+        for (i, gate) in netlist.gates().iter().enumerate() {
+            for &input in &gate.inputs {
+                fanout[input.index()].push(i);
+            }
+        }
+        let gate_delay_ps: Vec<f64> = netlist
+            .gates()
+            .iter()
+            .map(|gate| {
+                let kinds: Vec<GateKind> = fanout[gate.output.index()]
+                    .iter()
+                    .map(|&g| netlist.gates()[g].kind)
+                    .collect();
+                let load = library.load_ff(&kinds);
+                library.cell(gate.kind).delay_ps(load)
+            })
+            .collect();
+        Self {
+            netlist,
+            gate_delay_ps,
+            fanout,
+            values: vec![false; netlist.net_count()],
+            toggles: vec![0; netlist.net_count()],
+            settled_once: false,
+        }
+    }
+
+    /// Establishes a steady state for `stimulus` without counting activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on stimulus width mismatch.
+    pub fn settle(&mut self, stimulus: &[bool]) {
+        let inputs = self.netlist.inputs();
+        assert_eq!(stimulus.len(), inputs.len(), "stimulus width mismatch");
+        let mut input_iter = stimulus.iter();
+        for gate in self.netlist.gates() {
+            let value = match gate.kind {
+                GateKind::Input => *input_iter.next().expect("bit per input"),
+                kind => {
+                    let pins: Vec<bool> =
+                        gate.inputs.iter().map(|i| self.values[i.index()]).collect();
+                    kind.evaluate(&pins)
+                }
+            };
+            self.values[gate.output.index()] = value;
+        }
+        self.settled_once = true;
+    }
+
+    /// Applies a new input vector against the current steady state and
+    /// simulates to quiescence, counting every transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`TimingSim::settle`] has not established an initial
+    /// state, or on stimulus width mismatch.
+    pub fn apply(&mut self, stimulus: &[bool]) -> ApplyResult {
+        assert!(self.settled_once, "call settle() before apply()");
+        let inputs = self.netlist.inputs();
+        assert_eq!(stimulus.len(), inputs.len(), "stimulus width mismatch");
+
+        // (time, gate index, new value) — min-heap on time, then gate order
+        // for determinism.
+        let mut queue: BinaryHeap<Reverse<(u64, usize, bool)>> = BinaryHeap::new();
+        let to_fixed = |ps: f64| -> u64 { (ps * 1024.0).round() as u64 };
+
+        let mut transitions = 0u64;
+        let mut last_ps = 0.0f64;
+
+        // Input changes land at t = 0.
+        for (&net, &new) in inputs.iter().zip(stimulus) {
+            if self.values[net.index()] != new {
+                self.values[net.index()] = new;
+                self.toggles[net.index()] += 1;
+                transitions += 1;
+                for &g in &self.fanout[net.index()] {
+                    let gate = &self.netlist.gates()[g];
+                    let pins: Vec<bool> =
+                        gate.inputs.iter().map(|i| self.values[i.index()]).collect();
+                    let out = gate.kind.evaluate(&pins);
+                    queue.push(Reverse((to_fixed(self.gate_delay_ps[g]), g, out)));
+                }
+            }
+        }
+
+        while let Some(Reverse((t_fixed, g, scheduled))) = queue.pop() {
+            let gate = &self.netlist.gates()[g];
+            // Re-evaluate at pop time: transport events may be stale.
+            let pins: Vec<bool> = gate.inputs.iter().map(|i| self.values[i.index()]).collect();
+            let current_eval = gate.kind.evaluate(&pins);
+            // Only act if the scheduled value is still what the gate wants
+            // AND differs from the net's present value.
+            if scheduled != current_eval {
+                continue;
+            }
+            let net = gate.output;
+            if self.values[net.index()] == scheduled {
+                continue;
+            }
+            self.values[net.index()] = scheduled;
+            self.toggles[net.index()] += 1;
+            transitions += 1;
+            let now_ps = t_fixed as f64 / 1024.0;
+            last_ps = last_ps.max(now_ps);
+            for &downstream in &self.fanout[net.index()] {
+                let dg = &self.netlist.gates()[downstream];
+                let pins: Vec<bool> =
+                    dg.inputs.iter().map(|i| self.values[i.index()]).collect();
+                let out = dg.kind.evaluate(&pins);
+                queue.push(Reverse((
+                    t_fixed + to_fixed(self.gate_delay_ps[downstream]),
+                    downstream,
+                    out,
+                )));
+            }
+        }
+        ApplyResult { transitions, settle_ps: last_ps }
+    }
+
+    /// Per-net transition counts (glitches included) since construction.
+    #[must_use]
+    pub fn toggles(&self) -> &[u64] {
+        &self.toggles
+    }
+
+    /// Current value of a net.
+    #[must_use]
+    pub fn value(&self, net: NetId) -> bool {
+        self.values[net.index()]
+    }
+
+    /// Reads a named little-endian bus as an integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bus is unknown or wider than 128 bits.
+    #[must_use]
+    pub fn read_bus(&self, name: &str) -> u128 {
+        let bits = self.netlist.bus(name).unwrap_or_else(|| panic!("no bus named {name}"));
+        assert!(bits.len() <= 128);
+        bits.iter()
+            .enumerate()
+            .map(|(i, net)| u128::from(self.values[net.index()]) << i)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::ab_stimulus;
+    use sdlc_netlist::adders::ripple_add;
+
+    fn adder(width: u32) -> Netlist {
+        let mut n = Netlist::new("adder");
+        let a = n.add_input_bus("a", width);
+        let b = n.add_input_bus("b", width);
+        let s = ripple_add(&mut n, &a, &b);
+        n.set_output_bus("p", s);
+        n
+    }
+
+    #[test]
+    fn settles_to_functional_values() {
+        let n = adder(8);
+        let lib = Library::generic_90nm();
+        let mut sim = TimingSim::new(&n, &lib);
+        sim.settle(&ab_stimulus(&n, 0, 0));
+        for (a, b) in [(3u128, 5u128), (255, 255), (128, 127), (0, 1)] {
+            let result = sim.apply(&ab_stimulus(&n, a, b));
+            assert_eq!(sim.read_bus("p"), a + b, "{a}+{b}");
+            assert!(result.settle_ps >= 0.0);
+        }
+    }
+
+    #[test]
+    fn carry_ripple_takes_longer_than_local_change() {
+        let n = adder(16);
+        let lib = Library::generic_90nm();
+        let mut sim = TimingSim::new(&n, &lib);
+        // 0xFFFF + 1: flipping b0 ripples a carry through all 16 positions.
+        sim.settle(&ab_stimulus(&n, 0xFFFF, 0));
+        let long = sim.apply(&ab_stimulus(&n, 0xFFFF, 1));
+        // Local change: flip only the top bit of b.
+        let mut sim2 = TimingSim::new(&n, &lib);
+        sim2.settle(&ab_stimulus(&n, 0, 0));
+        let short = sim2.apply(&ab_stimulus(&n, 0, 0x8000));
+        assert!(
+            long.settle_ps > 4.0 * short.settle_ps,
+            "ripple {} ps vs local {} ps",
+            long.settle_ps,
+            short.settle_ps
+        );
+        assert!(long.transitions > short.transitions);
+    }
+
+    #[test]
+    fn glitches_exceed_zero_delay_toggles() {
+        // A ripple adder fed with a carry-heavy transition produces more
+        // transitions in timing simulation than nets that changed value.
+        let n = adder(8);
+        let lib = Library::generic_90nm();
+        let mut timing = TimingSim::new(&n, &lib);
+        timing.settle(&ab_stimulus(&n, 0b1010_1010, 0b0101_0101));
+        let result = timing.apply(&ab_stimulus(&n, 0b0101_0101, 0b1010_1011));
+        let mut logic = crate::LogicSim::new(&n);
+        logic.apply(&ab_stimulus(&n, 0b1010_1010, 0b0101_0101));
+        logic.apply(&ab_stimulus(&n, 0b0101_0101, 0b1010_1011));
+        let functional: u64 = logic.toggles().iter().sum();
+        assert!(
+            result.transitions >= functional,
+            "timing {} < functional {functional}",
+            result.transitions
+        );
+    }
+
+    #[test]
+    fn no_change_costs_nothing() {
+        let n = adder(4);
+        let lib = Library::generic_90nm();
+        let mut sim = TimingSim::new(&n, &lib);
+        sim.settle(&ab_stimulus(&n, 7, 8));
+        let result = sim.apply(&ab_stimulus(&n, 7, 8));
+        assert_eq!(result.transitions, 0);
+        assert_eq!(result.settle_ps, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "call settle()")]
+    fn apply_before_settle_panics() {
+        let n = adder(4);
+        let lib = Library::generic_90nm();
+        let mut sim = TimingSim::new(&n, &lib);
+        let _ = sim.apply(&ab_stimulus(&n, 1, 1));
+    }
+}

@@ -1,0 +1,94 @@
+//! Fixed-capacity wide unsigned integers.
+//!
+//! The SDLC study synthesizes multipliers up to 128×128 bits, whose products
+//! are 256 bits wide — beyond every primitive integer type. This crate
+//! provides [`Wide<L>`], an unsigned integer stored as `L` little-endian
+//! 64-bit limbs, with the full complement of arithmetic, bitwise, shifting,
+//! comparison, conversion and formatting operations needed by the multiplier
+//! models and the error-analysis engine.
+//!
+//! The common instantiations get aliases: [`U128`], [`U256`], [`U512`].
+//!
+//! # Examples
+//!
+//! ```
+//! use sdlc_wideint::U256;
+//!
+//! let a = U256::from_u128((1u128 << 127) - 1);
+//! let b = U256::from_u64(3);
+//! let p = a.wrapping_mul(&b);
+//! assert_eq!(p >> 127, U256::from_u64(2));
+//! assert_eq!(p.bit(0), true);
+//! ```
+//!
+//! # Design notes
+//!
+//! * All operations are constant-capacity: `Wide<L>` never reallocates and
+//!   is `Copy`, which keeps exhaustive error sweeps allocation-free.
+//! * Arithmetic is provided in `wrapping_*`, `checked_*` and
+//!   `overflowing_*` flavors mirroring the primitive-integer API surface.
+//!   The `+`/`-`/`*` operators panic on overflow in debug builds and wrap in
+//!   release builds, exactly like primitives.
+//! * [`Wide::widening_mul`] returns the double-width product as a
+//!   `(low, high)` pair so callers never silently lose product bits.
+
+mod convert;
+mod fmt;
+mod limbs;
+mod ops;
+mod rng;
+
+pub use limbs::Wide;
+pub use rng::SplitMix64;
+
+/// 128-bit wide integer (2 limbs).
+pub type U128 = Wide<2>;
+/// 256-bit wide integer (4 limbs) — enough for any 128×128 product.
+pub type U256 = Wide<4>;
+/// 512-bit wide integer (8 limbs) — headroom for sums of many products.
+pub type U512 = Wide<8>;
+
+/// Errors produced when parsing a [`Wide`] from a string.
+///
+/// Returned by [`Wide::from_str_radix`] and the `FromStr` impl.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseWideError {
+    /// The input string was empty.
+    Empty,
+    /// The input contained a character that is not a digit in the requested
+    /// radix (stores the offending character).
+    InvalidDigit(char),
+    /// The value does not fit in the target capacity.
+    Overflow,
+}
+
+impl core::fmt::Display for ParseWideError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ParseWideError::Empty => write!(f, "cannot parse integer from empty string"),
+            ParseWideError::InvalidDigit(c) => write!(f, "invalid digit found in string: {c:?}"),
+            ParseWideError::Overflow => write!(f, "number too large to fit in target type"),
+        }
+    }
+}
+
+impl std::error::Error for ParseWideError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aliases_have_expected_widths() {
+        assert_eq!(U128::BITS, 128);
+        assert_eq!(U256::BITS, 256);
+        assert_eq!(U512::BITS, 512);
+    }
+
+    #[test]
+    fn parse_error_display_is_nonempty() {
+        assert!(!ParseWideError::Empty.to_string().is_empty());
+        assert!(ParseWideError::InvalidDigit('z').to_string().contains('z'));
+        assert!(!ParseWideError::Overflow.to_string().is_empty());
+    }
+}

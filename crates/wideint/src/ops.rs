@@ -1,0 +1,499 @@
+//! Arithmetic, bitwise, shift and comparison operations for [`Wide`].
+
+use core::cmp::Ordering;
+use core::ops::{
+    Add, AddAssign, BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Mul,
+    MulAssign, Not, Shl, ShlAssign, Shr, ShrAssign, Sub, SubAssign,
+};
+
+use crate::Wide;
+
+impl<const L: usize> Wide<L> {
+    /// Adds with wraparound on overflow.
+    #[must_use]
+    pub fn wrapping_add(&self, rhs: &Self) -> Self {
+        self.overflowing_add(rhs).0
+    }
+
+    /// Adds, reporting whether the sum wrapped.
+    #[must_use]
+    pub fn overflowing_add(&self, rhs: &Self) -> (Self, bool) {
+        let mut out = Self::ZERO;
+        let mut carry = false;
+        for i in 0..L {
+            let (s1, c1) = self.limbs()[i].overflowing_add(rhs.limbs()[i]);
+            let (s2, c2) = s1.overflowing_add(u64::from(carry));
+            out.limbs_mut()[i] = s2;
+            carry = c1 || c2;
+        }
+        (out, carry)
+    }
+
+    /// Adds, returning `None` on overflow.
+    #[must_use]
+    pub fn checked_add(&self, rhs: &Self) -> Option<Self> {
+        match self.overflowing_add(rhs) {
+            (sum, false) => Some(sum),
+            _ => None,
+        }
+    }
+
+    /// Subtracts with wraparound on underflow.
+    #[must_use]
+    pub fn wrapping_sub(&self, rhs: &Self) -> Self {
+        self.overflowing_sub(rhs).0
+    }
+
+    /// Subtracts, reporting whether the difference wrapped below zero.
+    #[must_use]
+    pub fn overflowing_sub(&self, rhs: &Self) -> (Self, bool) {
+        let mut out = Self::ZERO;
+        let mut borrow = false;
+        for i in 0..L {
+            let (d1, b1) = self.limbs()[i].overflowing_sub(rhs.limbs()[i]);
+            let (d2, b2) = d1.overflowing_sub(u64::from(borrow));
+            out.limbs_mut()[i] = d2;
+            borrow = b1 || b2;
+        }
+        (out, borrow)
+    }
+
+    /// Subtracts, returning `None` on underflow.
+    #[must_use]
+    pub fn checked_sub(&self, rhs: &Self) -> Option<Self> {
+        match self.overflowing_sub(rhs) {
+            (diff, false) => Some(diff),
+            _ => None,
+        }
+    }
+
+    /// Absolute difference, `|self − rhs|`; never overflows.
+    ///
+    /// This is the *error distance* primitive of the error-analysis engine.
+    #[must_use]
+    pub fn abs_diff(&self, rhs: &Self) -> Self {
+        if self >= rhs {
+            self.wrapping_sub(rhs)
+        } else {
+            rhs.wrapping_sub(self)
+        }
+    }
+
+    /// Schoolbook multiply keeping only the low `L` limbs.
+    #[must_use]
+    pub fn wrapping_mul(&self, rhs: &Self) -> Self {
+        self.widening_mul(rhs).0
+    }
+
+    /// Multiplies, returning `None` if the product exceeds the capacity.
+    #[must_use]
+    pub fn checked_mul(&self, rhs: &Self) -> Option<Self> {
+        let (lo, hi) = self.widening_mul(rhs);
+        if hi.is_zero() {
+            Some(lo)
+        } else {
+            None
+        }
+    }
+
+    /// Full double-width product as `(low, high)` halves.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use sdlc_wideint::U128;
+    /// let (lo, hi) = U128::MAX.widening_mul(&U128::MAX);
+    /// assert_eq!(lo, U128::ONE);                 // (2^128-1)^2 mod 2^128
+    /// assert_eq!(hi, U128::MAX.wrapping_sub(&U128::ONE));
+    /// ```
+    #[must_use]
+    pub fn widening_mul(&self, rhs: &Self) -> (Self, Self) {
+        let mut acc = vec![0u64; 2 * L];
+        for i in 0..L {
+            let mut carry = 0u64;
+            let a = u128::from(self.limbs()[i]);
+            if a == 0 {
+                continue;
+            }
+            for j in 0..L {
+                let t = a * u128::from(rhs.limbs()[j])
+                    + u128::from(acc[i + j])
+                    + u128::from(carry);
+                acc[i + j] = t as u64;
+                carry = (t >> 64) as u64;
+            }
+            acc[i + L] = acc[i + L].wrapping_add(carry);
+        }
+        let mut lo = Self::ZERO;
+        let mut hi = Self::ZERO;
+        lo.limbs_mut().copy_from_slice(&acc[..L]);
+        hi.limbs_mut().copy_from_slice(&acc[L..]);
+        (lo, hi)
+    }
+
+    /// Logical shift left; shifts of `Self::BITS` or more yield zero.
+    #[must_use]
+    pub fn shl(&self, shift: u32) -> Self {
+        if shift >= Self::BITS {
+            return Self::ZERO;
+        }
+        let limb_shift = (shift / 64) as usize;
+        let bit_shift = shift % 64;
+        let mut out = Self::ZERO;
+        for i in (limb_shift..L).rev() {
+            let mut v = self.limbs()[i - limb_shift] << bit_shift;
+            if bit_shift > 0 && i > limb_shift {
+                v |= self.limbs()[i - limb_shift - 1] >> (64 - bit_shift);
+            }
+            out.limbs_mut()[i] = v;
+        }
+        out
+    }
+
+    /// Logical shift right; shifts of `Self::BITS` or more yield zero.
+    #[must_use]
+    pub fn shr(&self, shift: u32) -> Self {
+        if shift >= Self::BITS {
+            return Self::ZERO;
+        }
+        let limb_shift = (shift / 64) as usize;
+        let bit_shift = shift % 64;
+        let mut out = Self::ZERO;
+        for i in 0..L - limb_shift {
+            let mut v = self.limbs()[i + limb_shift] >> bit_shift;
+            if bit_shift > 0 && i + limb_shift + 1 < L {
+                v |= self.limbs()[i + limb_shift + 1] << (64 - bit_shift);
+            }
+            out.limbs_mut()[i] = v;
+        }
+        out
+    }
+
+    /// Divides by a single 64-bit divisor, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor == 0`.
+    #[must_use]
+    pub fn div_rem_u64(&self, divisor: u64) -> (Self, u64) {
+        assert!(divisor != 0, "division by zero");
+        let mut quot = Self::ZERO;
+        let mut rem = 0u64;
+        for i in (0..L).rev() {
+            let cur = (u128::from(rem) << 64) | u128::from(self.limbs()[i]);
+            quot.limbs_mut()[i] = (cur / u128::from(divisor)) as u64;
+            rem = (cur % u128::from(divisor)) as u64;
+        }
+        (quot, rem)
+    }
+
+    /// Full division, returning `(quotient, remainder)`.
+    ///
+    /// Uses binary long division on the significant bits; adequate for the
+    /// report-formatting and metric paths where it is used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    #[must_use]
+    pub fn div_rem(&self, divisor: &Self) -> (Self, Self) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if divisor.bit_len() <= 64 {
+            let (q, r) = self.div_rem_u64(divisor.limbs()[0]);
+            let mut rem = Self::ZERO;
+            rem.limbs_mut()[0] = r;
+            return (q, rem);
+        }
+        match self.cmp(divisor) {
+            Ordering::Less => return (Self::ZERO, *self),
+            Ordering::Equal => return (Self::ONE, Self::ZERO),
+            Ordering::Greater => {}
+        }
+        let mut quotient = Self::ZERO;
+        let mut remainder = Self::ZERO;
+        for i in (0..self.bit_len()).rev() {
+            remainder = remainder.shl(1);
+            if self.bit(i) {
+                remainder.set_bit(0, true);
+            }
+            if remainder >= *divisor {
+                remainder = remainder.wrapping_sub(divisor);
+                quotient.set_bit(i, true);
+            }
+        }
+        (quotient, remainder)
+    }
+}
+
+impl<const L: usize> PartialOrd for Wide<L> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<const L: usize> Ord for Wide<L> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..L).rev() {
+            match self.limbs()[i].cmp(&other.limbs()[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+// The `f(...)` indirection lets one macro accept both closures and fn
+// items; clippy flags the immediate call inside the expansion.
+#[allow(clippy::redundant_closure_call)]
+mod binop_impls {
+use super::*;
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident, $imp:expr) => {
+        impl<const L: usize> $trait for Wide<L> {
+            type Output = Wide<L>;
+            fn $method(self, rhs: Wide<L>) -> Wide<L> {
+                let f: fn(&Wide<L>, &Wide<L>) -> Wide<L> = $imp;
+                f(&self, &rhs)
+            }
+        }
+        impl<const L: usize> $trait<&Wide<L>> for Wide<L> {
+            type Output = Wide<L>;
+            fn $method(self, rhs: &Wide<L>) -> Wide<L> {
+                let f: fn(&Wide<L>, &Wide<L>) -> Wide<L> = $imp;
+                f(&self, rhs)
+            }
+        }
+        impl<const L: usize> $assign_trait for Wide<L> {
+            fn $assign_method(&mut self, rhs: Wide<L>) {
+                let f: fn(&Wide<L>, &Wide<L>) -> Wide<L> = $imp;
+                *self = f(self, &rhs);
+            }
+        }
+    };
+}
+
+#[cfg(debug_assertions)]
+fn add_impl<const L: usize>(a: &Wide<L>, b: &Wide<L>) -> Wide<L> {
+    let (sum, overflow) = a.overflowing_add(b);
+    assert!(!overflow, "attempt to add with overflow");
+    sum
+}
+
+#[cfg(not(debug_assertions))]
+fn add_impl<const L: usize>(a: &Wide<L>, b: &Wide<L>) -> Wide<L> {
+    a.wrapping_add(b)
+}
+
+#[cfg(debug_assertions)]
+fn sub_impl<const L: usize>(a: &Wide<L>, b: &Wide<L>) -> Wide<L> {
+    let (diff, overflow) = a.overflowing_sub(b);
+    assert!(!overflow, "attempt to subtract with overflow");
+    diff
+}
+
+#[cfg(not(debug_assertions))]
+fn sub_impl<const L: usize>(a: &Wide<L>, b: &Wide<L>) -> Wide<L> {
+    a.wrapping_sub(b)
+}
+
+#[cfg(debug_assertions)]
+fn mul_impl<const L: usize>(a: &Wide<L>, b: &Wide<L>) -> Wide<L> {
+    a.checked_mul(b).expect("attempt to multiply with overflow")
+}
+
+#[cfg(not(debug_assertions))]
+fn mul_impl<const L: usize>(a: &Wide<L>, b: &Wide<L>) -> Wide<L> {
+    a.wrapping_mul(b)
+}
+
+forward_binop!(Add, add, AddAssign, add_assign, add_impl);
+forward_binop!(Sub, sub, SubAssign, sub_assign, sub_impl);
+forward_binop!(Mul, mul, MulAssign, mul_assign, mul_impl);
+forward_binop!(BitAnd, bitand, BitAndAssign, bitand_assign, |a, b| {
+    let mut out = Wide::ZERO;
+    for i in 0..L {
+        out.limbs_mut()[i] = a.limbs()[i] & b.limbs()[i];
+    }
+    out
+});
+forward_binop!(BitOr, bitor, BitOrAssign, bitor_assign, |a, b| {
+    let mut out = Wide::ZERO;
+    for i in 0..L {
+        out.limbs_mut()[i] = a.limbs()[i] | b.limbs()[i];
+    }
+    out
+});
+forward_binop!(BitXor, bitxor, BitXorAssign, bitxor_assign, |a, b| {
+    let mut out = Wide::ZERO;
+    for i in 0..L {
+        out.limbs_mut()[i] = a.limbs()[i] ^ b.limbs()[i];
+    }
+    out
+});
+}
+
+impl<const L: usize> Not for Wide<L> {
+    type Output = Wide<L>;
+    fn not(self) -> Wide<L> {
+        let mut out = Wide::ZERO;
+        for i in 0..L {
+            out.limbs_mut()[i] = !self.limbs()[i];
+        }
+        out
+    }
+}
+
+impl<const L: usize> Shl<u32> for Wide<L> {
+    type Output = Wide<L>;
+    fn shl(self, shift: u32) -> Wide<L> {
+        Wide::shl(&self, shift)
+    }
+}
+
+impl<const L: usize> ShlAssign<u32> for Wide<L> {
+    fn shl_assign(&mut self, shift: u32) {
+        *self = Wide::shl(self, shift);
+    }
+}
+
+impl<const L: usize> Shr<u32> for Wide<L> {
+    type Output = Wide<L>;
+    fn shr(self, shift: u32) -> Wide<L> {
+        Wide::shr(&self, shift)
+    }
+}
+
+impl<const L: usize> ShrAssign<u32> for Wide<L> {
+    fn shr_assign(&mut self, shift: u32) {
+        *self = Wide::shr(self, shift);
+    }
+}
+
+impl<const L: usize> core::iter::Sum for Wide<L> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |acc, x| acc + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{U128, U256};
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = U256::from_u128(u128::MAX) << 17;
+        let b = U256::from_u64(0x1234_5678_9abc_def0);
+        assert_eq!((a + b) - b, a);
+        assert_eq!((a + b) - a, b);
+    }
+
+    #[test]
+    fn overflow_flags() {
+        assert_eq!(U256::MAX.overflowing_add(&U256::ONE), (U256::ZERO, true));
+        assert_eq!(U256::ZERO.overflowing_sub(&U256::ONE), (U256::MAX, true));
+        assert!(U256::MAX.checked_add(&U256::ONE).is_none());
+        assert!(U256::ZERO.checked_sub(&U256::ONE).is_none());
+        assert!(U256::MAX.checked_mul(&U256::from_u64(2)).is_none());
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        for (a, b) in [(3u64, 5u64), (u64::MAX, u64::MAX), (0, 77), (1 << 40, 1 << 41)] {
+            let expect = u128::from(a) * u128::from(b);
+            let got = U256::from_u64(a) * U256::from_u64(b);
+            assert_eq!(got, U256::from_u128(expect), "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn widening_mul_carries_into_high() {
+        let (lo, hi) = U128::MAX.widening_mul(&U128::MAX);
+        // (2^128 - 1)^2 = 2^256 - 2^129 + 1
+        assert_eq!(lo, U128::ONE);
+        assert_eq!(hi, U128::MAX.wrapping_sub(&U128::ONE));
+    }
+
+    #[test]
+    fn shifts() {
+        let x = U256::from_u64(1);
+        assert_eq!((x << 255) >> 255, x);
+        assert_eq!(x << 256, U256::ZERO);
+        assert_eq!(U256::MAX >> 256, U256::ZERO);
+        let y = U256::from_u128(0xdead_beef_cafe_babe_1234_5678_9abc_def0);
+        assert_eq!((y << 64) >> 64, y);
+        assert_eq!((y << 3) >> 3, y);
+    }
+
+    #[test]
+    fn abs_diff_is_symmetric() {
+        let a = U256::from_u64(100);
+        let b = U256::from_u64(300);
+        assert_eq!(a.abs_diff(&b), U256::from_u64(200));
+        assert_eq!(b.abs_diff(&a), U256::from_u64(200));
+        assert_eq!(a.abs_diff(&a), U256::ZERO);
+    }
+
+    #[test]
+    fn div_rem_u64_basics() {
+        let x = U256::from_u128(1_000_000_000_000_000_000_000_000_007);
+        let (q, r) = x.div_rem_u64(10);
+        assert_eq!(r, 7);
+        assert_eq!(q * U256::from_u64(10) + U256::from_u64(7), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = U256::ONE.div_rem_u64(0);
+    }
+
+    #[test]
+    fn div_rem_full() {
+        let a = (U256::from_u128(u128::MAX) << 100) | U256::from_u64(12345);
+        let d = (U256::from_u64(0xffff_ffff) << 70) | U256::from_u64(999);
+        let (q, r) = a.div_rem(&d);
+        assert!(r < d);
+        assert_eq!(q * d + r, a);
+        // divisor > dividend
+        let (q2, r2) = d.div_rem(&a);
+        assert_eq!(q2, U256::ZERO);
+        assert_eq!(r2, d);
+        // equal
+        let (q3, r3) = a.div_rem(&a);
+        assert_eq!(q3, U256::ONE);
+        assert!(r3.is_zero());
+    }
+
+    #[test]
+    fn ordering() {
+        let a = U256::from_u64(5) << 200;
+        let b = U256::from_u64(6) << 100;
+        assert!(a > b);
+        assert!(b < a);
+        assert_eq!(a.cmp(&a), core::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let a = U256::from_u128(0xf0f0);
+        let b = U256::from_u128(0x0ff0);
+        assert_eq!(a & b, U256::from_u128(0x00f0));
+        assert_eq!(a | b, U256::from_u128(0xfff0));
+        assert_eq!(a ^ b, U256::from_u128(0xff00));
+        assert_eq!(!(!a), a);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: U256 = (1..=10u64).map(U256::from_u64).sum();
+        assert_eq!(total, U256::from_u64(55));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "overflow")]
+    fn debug_add_overflow_panics() {
+        let _ = U256::MAX + U256::ONE;
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests: `Wide` arithmetic must agree with `u128`
+//! arithmetic on every operation for values that fit in 128 bits, and must
+//! satisfy algebraic laws at full width.
+
+use proptest::prelude::*;
+use sdlc_wideint::{U256, U512};
+
+fn u256(x: u128) -> U256 {
+    U256::from_u128(x)
+}
+
+fn arb_u256() -> impl Strategy<Value = U256> {
+    prop::array::uniform4(any::<u64>()).prop_map(U256::from_limbs)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        let (expect, overflow) = a.overflowing_add(b);
+        if !overflow {
+            prop_assert_eq!(u256(a) + u256(b), u256(expect));
+        } else {
+            // Still fits in 256 bits; check via checked_add on the wide type.
+            let sum = u256(a).checked_add(&u256(b)).unwrap();
+            prop_assert_eq!(sum.shr(128).as_u64(), 1);
+        }
+    }
+
+    #[test]
+    fn sub_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        prop_assert_eq!(u256(hi) - u256(lo), u256(hi - lo));
+        prop_assert_eq!(u256(hi).abs_diff(&u256(lo)), u256(hi - lo));
+        prop_assert_eq!(u256(lo).abs_diff(&u256(hi)), u256(hi - lo));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(
+            u256(u128::from(a)) * u256(u128::from(b)),
+            u256(u128::from(a) * u128::from(b))
+        );
+    }
+
+    #[test]
+    fn widening_mul_is_consistent(a in arb_u256(), b in arb_u256()) {
+        let (lo, hi) = a.widening_mul(&b);
+        // Reconstruct in 512 bits and compare against a 512-bit multiply.
+        let full: U512 = lo.resize::<8>() + (hi.resize::<8>() << 256);
+        let direct = a.resize::<8>() * b.resize::<8>();
+        prop_assert_eq!(full, direct);
+    }
+
+    #[test]
+    fn shifts_match_u128(a in any::<u128>(), s in 0u32..128) {
+        // The low 128 bits of the 256-bit shift equal the truncating u128 shift.
+        prop_assert_eq!((u256(a) << s).as_u128(), a.wrapping_shl(s));
+        // And nothing is lost at 256-bit capacity for s < 128.
+        prop_assert_eq!((u256(a) << s) >> s, u256(a));
+        prop_assert_eq!(u256(a) >> s, u256(a >> s));
+    }
+
+    #[test]
+    fn shl_then_shr_is_identity(a in arb_u256(), s in 0u32..=256) {
+        let masked = if s == 0 { a } else { (a << s) >> s };
+        let expect = if s == 0 { a } else {
+            // keep only the low 256-s bits
+            let keep = 256 - s;
+            if keep == 0 { U256::ZERO } else { a & (U256::MAX >> s) }
+        };
+        keep_used(&expect);
+        prop_assert_eq!(masked, expect);
+    }
+
+    #[test]
+    fn ordering_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        prop_assert_eq!(u256(a).cmp(&u256(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in arb_u256(), b in arb_u256()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q.checked_mul(&b).unwrap().checked_add(&r).unwrap(), a);
+    }
+
+    #[test]
+    fn div_rem_u64_matches_full(a in arb_u256(), d in 1u64..) {
+        let (q1, r1) = a.div_rem_u64(d);
+        let (q2, r2) = a.div_rem(&U256::from_u64(d));
+        prop_assert_eq!(q1, q2);
+        prop_assert_eq!(U256::from_u64(r1), r2);
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in arb_u256()) {
+        let s = a.to_string();
+        let back: U256 = s.parse().unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in arb_u256()) {
+        let s = format!("{a:#x}");
+        let back: U256 = s.parse().unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn to_f64_relative_error(a in arb_u256()) {
+        prop_assume!(!a.is_zero());
+        let f = a.to_f64();
+        // Compare against a reference computed limb by limb.
+        let reference: f64 = a
+            .limbs()
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| l as f64 * 2f64.powi(64 * i as i32))
+            .sum();
+        let rel = (f - reference).abs() / reference;
+        prop_assert!(rel < 1e-12, "rel error {rel}");
+    }
+
+    #[test]
+    fn bitwise_de_morgan(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(!(a & b), (!a) | (!b));
+        prop_assert_eq!(!(a | b), (!a) & (!b));
+        prop_assert_eq!(a ^ b, (a | b) & !(a & b));
+    }
+
+    #[test]
+    fn count_ones_split(a in arb_u256()) {
+        let total: u32 = a.limbs().iter().map(|l| l.count_ones()).sum();
+        prop_assert_eq!(a.count_ones(), total);
+        prop_assert_eq!(a.count_ones() + (!a).count_ones(), 256);
+    }
+}
+
+/// Silences the unused-variable lint inside the proptest macro above while
+/// keeping the intermediate binding for readability.
+fn keep_used<T>(_: &T) {}

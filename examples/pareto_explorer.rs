@@ -1,0 +1,96 @@
+//! Design-space exploration: the accuracy–energy Pareto frontier of 8-bit
+//! approximate multipliers — uniform SDLC depths, *heterogeneous* cluster
+//! depths (the fully configurable version of the paper's "variable logic
+//! cluster" idea), tail-schedule variants, truncation and the published
+//! baselines, all through the same error engine and synthesis flow.
+//!
+//! Run with: `cargo run --release --example pareto_explorer`
+
+use sdlc::core::baselines::{EtmMultiplier, KulkarniMultiplier, TruncatedMultiplier};
+use sdlc::core::circuits::{
+    accurate_multiplier, etm_multiplier, kulkarni_multiplier, sdlc_multiplier,
+    truncated_multiplier, ReductionScheme,
+};
+use sdlc::core::error::exhaustive;
+use sdlc::core::{ClusterVariant, Multiplier, SdlcMultiplier};
+use sdlc::netlist::Netlist;
+use sdlc::synth::{analyze, AnalysisOptions};
+use sdlc::techlib::Library;
+
+struct Candidate {
+    name: String,
+    mred_pct: f64,
+    energy_saving_pct: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = Library::generic_90nm();
+    let options = AnalysisOptions::default();
+    let scheme = ReductionScheme::RippleRows;
+    let exact_report = analyze(accurate_multiplier(8, scheme)?, &lib, &options);
+
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let push = |name: String,
+                    metrics: &sdlc::core::error::ErrorMetrics,
+                    netlist: Netlist,
+                    candidates: &mut Vec<Candidate>| {
+        let report = analyze(netlist, &lib, &options);
+        candidates.push(Candidate {
+            name,
+            mred_pct: metrics.mred * 100.0,
+            energy_saving_pct: report.reduction_vs(&exact_report).energy * 100.0,
+        });
+    };
+
+    // Uniform depths and variants.
+    for depth in [2u32, 3, 4] {
+        for variant in [ClusterVariant::Progressive, ClusterVariant::FullOr] {
+            let model = SdlcMultiplier::with_variant(8, depth, variant)?;
+            let metrics = exhaustive(&model).expect("8-bit");
+            push(model.name(), &metrics, sdlc_multiplier(&model, scheme), &mut candidates);
+        }
+    }
+    // Heterogeneous depth mixes (harder compression on less significant rows).
+    for depths in [vec![4u32, 2, 2], vec![2, 2, 4], vec![2, 3, 3], vec![6, 2], vec![2, 6]] {
+        let model = SdlcMultiplier::with_group_depths(8, &depths)?;
+        let metrics = exhaustive(&model).expect("8-bit");
+        push(model.name(), &metrics, sdlc_multiplier(&model, scheme), &mut candidates);
+    }
+    // Truncation sweep.
+    for dropped in [4u32, 6, 8] {
+        let model = TruncatedMultiplier::new(8, dropped)?;
+        let metrics = exhaustive(&model).expect("8-bit");
+        push(model.name(), &metrics, truncated_multiplier(&model, scheme), &mut candidates);
+    }
+    // Published baselines.
+    let kulkarni = KulkarniMultiplier::new(8)?;
+    let metrics = exhaustive(&kulkarni).expect("8-bit");
+    push(kulkarni.name(), &metrics, kulkarni_multiplier(8, scheme)?, &mut candidates);
+    let etm = EtmMultiplier::new(8)?;
+    let metrics = exhaustive(&etm).expect("8-bit");
+    push(etm.name(), &metrics, etm_multiplier(8, scheme)?, &mut candidates);
+
+    candidates.sort_by(|a, b| a.mred_pct.total_cmp(&b.mred_pct));
+    println!("{:>22} | {:>9} | {:>10} | pareto", "design", "MRED %", "energy sav");
+    let mut best_energy = f64::NEG_INFINITY;
+    for c in &candidates {
+        // Walking in MRED order, a point is Pareto-optimal iff it beats
+        // every more-accurate design's energy saving.
+        let optimal = c.energy_saving_pct > best_energy;
+        if optimal {
+            best_energy = c.energy_saving_pct;
+        }
+        println!(
+            "{:>22} | {:9.4} | {:9.1}% | {}",
+            c.name,
+            c.mred_pct,
+            c.energy_saving_pct,
+            if optimal { "*" } else { "" }
+        );
+    }
+    println!("\n'*' marks the accuracy-energy Pareto frontier. The significance-");
+    println!("driven designs (uniform and mixed depths) dominate the truncation");
+    println!("points of equal savings, which is the paper's central argument;");
+    println!("heterogeneous mixes fill the gaps between Table III's depths.");
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Quickstart: build an SDLC approximate multiplier, compare it with the
+//! exact product, and measure its error statistics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use sdlc::core::{error, AccurateMultiplier, Multiplier, SdlcMultiplier};
+
+fn main() -> Result<(), sdlc::core::SpecError> {
+    // The paper's default configuration: 8×8 operands, 2-row clusters.
+    let approx = SdlcMultiplier::new(8, 2)?;
+    let exact = AccurateMultiplier::new(8)?;
+
+    println!("a × b        exact   sdlc(d=2)  error");
+    for (a, b) in [(15u64, 15u64), (200, 100), (255, 255), (137, 89), (3, 3)] {
+        let p = exact.multiply_u64(a, b);
+        let q = approx.multiply_u64(a, b);
+        println!("{a:3} × {b:3}  {p:8}  {q:9}  {:5}", p - q);
+    }
+
+    // Exhaustive error metrics over all 65 536 operand pairs (Section III).
+    let metrics = error::exhaustive(&approx).expect("8-bit is exhaustively checkable");
+    println!("\nexhaustive metrics for {}:", approx.name());
+    println!("  {metrics}");
+
+    // The error *rate* also has an exact closed form (crate extension).
+    let analytic = error::error_rate_depth2(8, approx.variant());
+    println!("  analytic ER = {:.4}% (simulation: {:.4}%)", analytic * 100.0, metrics.error_rate * 100.0);
+
+    // Deeper clusters trade accuracy for hardware savings (Table III).
+    println!("\ncluster-depth trade-off (8-bit):");
+    for depth in [2u32, 3, 4] {
+        let model = SdlcMultiplier::new(8, depth)?;
+        let m = error::exhaustive(&model).expect("8-bit");
+        println!(
+            "  depth {depth}: {} reduced rows, MRED {:.3}%, ER {:.2}%",
+            model.reduced_rows(),
+            m.mred * 100.0,
+            m.error_rate * 100.0
+        );
+    }
+    Ok(())
+}

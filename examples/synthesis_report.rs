@@ -1,0 +1,43 @@
+//! Synthesis-style reports for a family of multipliers — the Design
+//! Compiler half of the study: area, leakage, critical path, glitch-aware
+//! dynamic power and power-delay product on the synthetic 90 nm library.
+//!
+//! Run with: `cargo run --release --example synthesis_report [width]`
+
+use sdlc::core::circuits::{
+    accurate_multiplier, etm_multiplier, kulkarni_multiplier, sdlc_multiplier, ReductionScheme,
+};
+use sdlc::core::SdlcMultiplier;
+use sdlc::synth::{analyze, AnalysisOptions};
+use sdlc::techlib::Library;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let width: u32 = std::env::args().nth(1).map_or(Ok(8), |s| s.parse())?;
+    let lib = Library::generic_90nm();
+    let options = AnalysisOptions::default();
+    let scheme = ReductionScheme::RippleRows;
+
+    println!("--- accurate {width}×{width} (ripple accumulation) ---");
+    let exact = analyze(accurate_multiplier(width, scheme)?, &lib, &options);
+    print!("{exact}");
+
+    for depth in [2u32, 3, 4] {
+        let model = SdlcMultiplier::new(width, depth)?;
+        let report = analyze(sdlc_multiplier(&model, scheme), &lib, &options);
+        println!("--- SDLC depth {depth} ---");
+        print!("{report}");
+        println!("  vs accurate: {}", report.reduction_vs(&exact));
+    }
+
+    if width.is_power_of_two() {
+        let report = analyze(kulkarni_multiplier(width, scheme)?, &lib, &options);
+        println!("--- Kulkarni [8] ---");
+        print!("{report}");
+        println!("  vs accurate: {}", report.reduction_vs(&exact));
+    }
+    let report = analyze(etm_multiplier(width, scheme)?, &lib, &options);
+    println!("--- ETM [20] ---");
+    print!("{report}");
+    println!("  vs accurate: {}", report.reduction_vs(&exact));
+    Ok(())
+}

@@ -1,0 +1,182 @@
+//! Cross-crate integration: every circuit generator must agree with its
+//! functional model through the gate-level simulator, and the three
+//! simulation engines must agree with each other on real multipliers.
+
+use sdlc::core::baselines::{EtmMultiplier, KulkarniMultiplier, TruncatedMultiplier};
+use sdlc::core::circuits::{
+    accurate_multiplier, etm_multiplier, kulkarni_multiplier, sdlc_multiplier,
+    truncated_multiplier, ReductionScheme,
+};
+use sdlc::core::{ClusterVariant, Multiplier, SdlcMultiplier};
+use sdlc::netlist::passes;
+use sdlc::sim::equiv::{check_exhaustive, check_sampled};
+use sdlc::sim::{ab_stimulus, BitParallelSim, LogicSim, TimingSim};
+use sdlc::techlib::Library;
+use sdlc::wideint::SplitMix64;
+
+#[test]
+fn every_generator_matches_its_model_at_6_bits() {
+    let scheme = ReductionScheme::RippleRows;
+    // SDLC at every depth and variant.
+    for depth in [1u32, 2, 3, 4, 6] {
+        for variant in [
+            ClusterVariant::Progressive,
+            ClusterVariant::CeilTails,
+            ClusterVariant::PairTails,
+            ClusterVariant::FullOr,
+        ] {
+            let model = SdlcMultiplier::with_variant(6, depth, variant).unwrap();
+            let netlist = sdlc_multiplier(&model, scheme);
+            check_exhaustive(&netlist, 6, |a, b| model.multiply(a, b))
+                .unwrap_or_else(|e| panic!("sdlc d{depth} {variant:?}: {e}"));
+        }
+    }
+    // ETM and truncation.
+    let etm = EtmMultiplier::new(6).unwrap();
+    check_exhaustive(&etm_multiplier(6, scheme).unwrap(), 6, |a, b| etm.multiply(a, b)).unwrap();
+    for dropped in [0u32, 3, 7] {
+        let model = TruncatedMultiplier::new(6, dropped).unwrap();
+        check_exhaustive(&truncated_multiplier(&model, scheme), 6, |a, b| model.multiply(a, b))
+            .unwrap_or_else(|e| panic!("trunc {dropped}: {e}"));
+    }
+}
+
+#[test]
+fn optimization_passes_preserve_multiplier_behavior() {
+    let model = SdlcMultiplier::new(8, 3).unwrap();
+    let mut netlist = sdlc_multiplier(&model, ReductionScheme::RippleRows);
+    let before = netlist.cell_count();
+    let stats = passes::optimize(&mut netlist);
+    assert!(stats.dead_gates_removed + stats.gates_simplified > 0);
+    assert!(netlist.cell_count() <= before);
+    check_exhaustive(&netlist, 8, |a, b| model.multiply(a, b)).unwrap();
+}
+
+#[test]
+fn kulkarni_circuit_matches_model_at_16_bits() {
+    let model = KulkarniMultiplier::new(16).unwrap();
+    let netlist = kulkarni_multiplier(16, ReductionScheme::RippleRows).unwrap();
+    check_sampled(&netlist, 16, 300, 7, |a, b| model.multiply(a, b)).unwrap();
+}
+
+#[test]
+fn wide_sdlc_circuit_matches_model_at_32_bits() {
+    let model = SdlcMultiplier::new(32, 2).unwrap();
+    let netlist = sdlc_multiplier(&model, ReductionScheme::RippleRows);
+    check_sampled(&netlist, 32, 200, 13, |a, b| model.multiply(a, b)).unwrap();
+}
+
+#[test]
+fn all_three_engines_agree_on_an_sdlc_multiplier() {
+    let model = SdlcMultiplier::new(8, 2).unwrap();
+    let netlist = sdlc_multiplier(&model, ReductionScheme::RippleRows);
+    let lib = Library::generic_90nm();
+    let mut scalar = LogicSim::new(&netlist);
+    let mut parallel = BitParallelSim::new(&netlist);
+    let mut timing = TimingSim::new(&netlist, &lib);
+    timing.settle(&ab_stimulus(&netlist, 0, 0));
+
+    let mut rng = SplitMix64::new(0xE9417);
+    for _ in 0..300 {
+        let a = u128::from(rng.next_bits(8));
+        let b = u128::from(rng.next_bits(8));
+        let stimulus = ab_stimulus(&netlist, a, b);
+        scalar.apply(&stimulus);
+        let word_stimulus: Vec<u64> =
+            stimulus.iter().map(|&bit| if bit { u64::MAX } else { 0 }).collect();
+        parallel.apply(&word_stimulus);
+        timing.apply(&stimulus);
+
+        let expect = model.multiply(a, b).to_u128().unwrap();
+        assert_eq!(scalar.read_bus("p"), expect);
+        assert_eq!(timing.read_bus("p"), expect);
+        let p_bus = netlist.bus("p").unwrap();
+        let parallel_value: u128 = p_bus
+            .iter()
+            .enumerate()
+            .map(|(i, net)| u128::from(parallel.lane_value(*net, 17)) << i)
+            .sum();
+        assert_eq!(parallel_value, expect);
+    }
+}
+
+#[test]
+fn wallace_and_dadda_give_identical_functions_different_structures() {
+    let model = SdlcMultiplier::new(8, 2).unwrap();
+    let wallace = sdlc_multiplier(&model, ReductionScheme::Wallace);
+    let dadda = sdlc_multiplier(&model, ReductionScheme::Dadda);
+    assert_ne!(wallace.cell_count(), dadda.cell_count());
+    for netlist in [&wallace, &dadda] {
+        check_sampled(netlist, 8, 400, 3, |a, b| model.multiply(a, b)).unwrap();
+    }
+}
+
+#[test]
+fn accurate_reference_is_exact_for_every_scheme_at_4_bits() {
+    for scheme in [ReductionScheme::RippleRows, ReductionScheme::Wallace, ReductionScheme::Dadda]
+    {
+        let netlist = accurate_multiplier(4, scheme).unwrap();
+        check_exhaustive(&netlist, 4, |a, b| {
+            sdlc::wideint::U256::from_u128(a).wrapping_mul(&sdlc::wideint::U256::from_u128(b))
+        })
+        .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
+    }
+}
+
+#[test]
+fn heterogeneous_depth_circuits_match_their_models() {
+    for depths in [vec![4u32, 2, 2], vec![2, 2, 4], vec![6, 2], vec![2, 3, 3]] {
+        let model = SdlcMultiplier::with_group_depths(8, &depths).unwrap();
+        let netlist = sdlc_multiplier(&model, ReductionScheme::RippleRows);
+        check_exhaustive(&netlist, 8, |a, b| model.multiply(a, b))
+            .unwrap_or_else(|e| panic!("{depths:?}: {e}"));
+    }
+}
+
+#[test]
+fn carry_save_scheme_matches_models() {
+    let model = SdlcMultiplier::new(8, 2).unwrap();
+    let netlist = sdlc_multiplier(&model, ReductionScheme::CarrySaveArray);
+    check_exhaustive(&netlist, 8, |a, b| model.multiply(a, b)).unwrap();
+    let exact = accurate_multiplier(6, ReductionScheme::CarrySaveArray).unwrap();
+    check_exhaustive(&exact, 6, |a, b| {
+        sdlc::wideint::U256::from_u128(a).wrapping_mul(&sdlc::wideint::U256::from_u128(b))
+    })
+    .unwrap();
+}
+
+#[test]
+fn verilog_export_covers_optimized_designs() {
+    // The exporter must emit one primitive per logic cell and declare every
+    // internal net, for every design family we generate.
+    for netlist in [
+        accurate_multiplier(8, ReductionScheme::Wallace).unwrap(),
+        sdlc_multiplier(&SdlcMultiplier::new(8, 3).unwrap(), ReductionScheme::RippleRows),
+        etm_multiplier(8, ReductionScheme::RippleRows).unwrap(),
+        kulkarni_multiplier(8, ReductionScheme::RippleRows).unwrap(),
+    ] {
+        let mut optimized = netlist;
+        passes::optimize(&mut optimized);
+        let verilog = sdlc::netlist::to_verilog(&optimized);
+        assert!(verilog.contains("module "), "{}", optimized.name());
+        assert!(verilog.contains("input  [7:0] a;"));
+        assert!(verilog.contains("output [15:0] p;"));
+        let primitive_lines = verilog
+            .lines()
+            .filter(|l| {
+                let t = l.trim_start();
+                ["and", "or ", "nand", "nor", "xor", "xnor", "not", "buf"]
+                    .iter()
+                    .any(|p| t.starts_with(p))
+                    || t.starts_with("assign")
+            })
+            .count();
+        assert!(
+            primitive_lines >= optimized.cell_count(),
+            "{}: {} lines vs {} cells",
+            optimized.name(),
+            primitive_lines,
+            optimized.cell_count()
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Black-box tests of the `sdlc-cli` binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sdlc-cli"))
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let output = cli().args(args).output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+        output.status.success(),
+    )
+}
+
+#[test]
+fn errors_command_reports_metrics() {
+    let (stdout, _, ok) = run(&["errors", "--width", "8", "--depth", "2"]);
+    assert!(ok);
+    assert!(stdout.contains("sdlc8_d2"));
+    assert!(stdout.contains("MRED 1.98"), "{stdout}");
+    assert!(stdout.contains("ER 49.11"), "{stdout}");
+    assert!(stdout.contains("analytic MED"), "{stdout}");
+}
+
+#[test]
+fn errors_supports_heterogeneous_depths_and_variants() {
+    let (stdout, _, ok) = run(&["errors", "--width", "8", "--depths", "4,2,2"]);
+    assert!(ok);
+    assert!(stdout.contains("sdlc8_dmix4_2_2"), "{stdout}");
+    let (stdout, _, ok) = run(&["errors", "--width", "8", "--variant", "fullor"]);
+    assert!(ok);
+    assert!(stdout.contains("fullor"), "{stdout}");
+}
+
+#[test]
+fn dot_command_draws_the_matrix() {
+    let (stdout, _, ok) = run(&["dot", "--width", "8", "--depth", "2"]);
+    assert!(ok);
+    assert!(stdout.contains("4 rows, critical column 4"), "{stdout}");
+    assert!(stdout.contains('o') && stdout.contains('·'));
+}
+
+#[test]
+fn verilog_command_writes_a_module() {
+    let dir = std::env::temp_dir().join("sdlc_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("out.v");
+    let path_str = path.to_str().unwrap();
+    let (_, _, ok) =
+        run(&["verilog", "--width", "4", "--depth", "2", "--out", path_str]);
+    assert!(ok);
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("module sdlc4_d2_ripple"));
+    assert!(text.contains("endmodule"));
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let (_, stderr, ok) = run(&["errors", "--width", "9"]);
+    assert!(!ok);
+    assert!(stderr.contains("even"), "{stderr}");
+    let (_, stderr, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+    let (_, stderr, ok) = run(&["errors", "--width"]);
+    assert!(!ok);
+    assert!(stderr.contains("needs a value"), "{stderr}");
+    let (_, stderr, ok) = run(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("USAGE"), "{stderr}");
+}
+
+#[test]
+fn help_prints_usage() {
+    let (stdout, _, ok) = run(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("COMMANDS"));
+    assert!(stdout.contains("--depths"));
+}
+
+#[test]
+fn synth_accepts_a_custom_library_file() {
+    let dir = std::env::temp_dir().join("sdlc_cli_lib");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("corner.lib");
+    // Export the built-in 65nm corner through the text format.
+    std::fs::write(&path, sdlc::techlib::Library::generic_65nm().to_text()).unwrap();
+    let (stdout, _, ok) = run(&[
+        "synth", "--width", "8", "--depth", "2", "--lib",
+        path.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("savings vs accurate"), "{stdout}");
+    let (_, stderr, ok) = run(&["synth", "--lib", "/nonexistent.lib"]);
+    assert!(!ok);
+    assert!(stderr.contains("reading"), "{stderr}");
+}

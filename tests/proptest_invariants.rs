@@ -1,0 +1,127 @@
+//! Property-based invariants across the whole stack.
+
+use proptest::prelude::*;
+use sdlc::core::baselines::{EtmMultiplier, KulkarniMultiplier, TruncatedMultiplier};
+use sdlc::core::matrix::ReducedMatrix;
+use sdlc::core::{AccurateMultiplier, ClusterVariant, Multiplier, SdlcMultiplier};
+use sdlc::wideint::U256;
+
+/// Any supported (width, depth) pair.
+fn arb_spec() -> impl Strategy<Value = (u32, u32)> {
+    (1u32..=8)
+        .prop_map(|half| half * 2) // even widths 2..=16
+        .prop_flat_map(|width| (Just(width), 1u32..=width))
+}
+
+proptest! {
+    /// OR-compression can only remove value: P' ≤ P, and multiplying by
+    /// 0 or 1 or a power of two is always exact.
+    #[test]
+    fn sdlc_never_overestimates((width, depth) in arb_spec(), a in any::<u64>(), b in any::<u64>()) {
+        let model = SdlcMultiplier::new(width, depth).unwrap();
+        let mask = (1u64 << width) - 1;
+        let (a, b) = (a & mask, b & mask);
+        let exact = u128::from(a) * u128::from(b);
+        let approx = model.multiply_u64(a, b);
+        prop_assert!(approx <= exact);
+        prop_assert_eq!(model.multiply_u64(a, 0), 0);
+        prop_assert_eq!(model.multiply_u64(a, 1), u128::from(a));
+        let pow2 = 1u64 << (b % u64::from(width));
+        prop_assert_eq!(model.multiply_u64(a, pow2), u128::from(a) << (b % u64::from(width)));
+    }
+
+    /// The word-level model and the structural dot-matrix evaluation are
+    /// the same function.
+    #[test]
+    fn matrix_model_equivalence((width, depth) in arb_spec(), a in any::<u64>(), b in any::<u64>(),
+                                 variant_idx in 0usize..4) {
+        let variant = [ClusterVariant::Progressive, ClusterVariant::CeilTails,
+                       ClusterVariant::PairTails, ClusterVariant::FullOr][variant_idx];
+        let model = SdlcMultiplier::with_variant(width, depth, variant).unwrap();
+        let matrix = ReducedMatrix::from_multiplier(&model);
+        let mask = (1u64 << width) - 1;
+        let (a, b) = (a & mask, b & mask);
+        prop_assert_eq!(
+            matrix.evaluate(u128::from(a), u128::from(b)),
+            model.multiply_u64(a, b)
+        );
+    }
+
+    /// Deeper clusters never increase a product (compression is monotone
+    /// in the compressed-dot set for nested schedules — FullOr vs paper).
+    #[test]
+    fn fullor_bounds_progressive((width, depth) in arb_spec(), a in any::<u64>(), b in any::<u64>()) {
+        let paper = SdlcMultiplier::new(width, depth).unwrap();
+        let fullor = SdlcMultiplier::with_variant(width, depth, ClusterVariant::FullOr).unwrap();
+        let mask = (1u64 << width) - 1;
+        let (a, b) = (a & mask, b & mask);
+        prop_assert!(fullor.multiply_u64(a, b) <= paper.multiply_u64(a, b));
+    }
+
+    /// Commutativity is *not* guaranteed for SDLC (the matrix is not
+    /// symmetric in a/b roles), but every model must stay within the
+    /// worst-case RED bound of one third.
+    #[test]
+    fn sdlc_relative_error_bounded((width, depth) in arb_spec(), a in any::<u64>(), b in any::<u64>()) {
+        let model = SdlcMultiplier::new(width, depth).unwrap();
+        let mask = (1u64 << width) - 1;
+        let (a, b) = (a & mask, b & mask);
+        let exact = u128::from(a) * u128::from(b);
+        let approx = model.multiply_u64(a, b);
+        if exact > 0 && depth == 2 {
+            let red = (exact - approx) as f64 / exact as f64;
+            prop_assert!(red < 1.0 / 3.0 + 1e-12, "RED {red} exceeds 1/3");
+        }
+    }
+
+    /// Kulkarni is exact unless both operands contain a `11` chunk pair,
+    /// and its error is also one-sided.
+    #[test]
+    fn kulkarni_error_structure(a in any::<u64>(), b in any::<u64>()) {
+        let model = KulkarniMultiplier::new(8).unwrap();
+        let (a, b) = (a & 0xff, b & 0xff);
+        let exact = u128::from(a) * u128::from(b);
+        let approx = model.multiply_u64(a, b);
+        prop_assert!(approx <= exact);
+        let has_3 = |x: u64| (0..4).any(|i| (x >> (2 * i)) & 3 == 3);
+        if approx != exact {
+            prop_assert!(has_3(a) && has_3(b));
+        }
+    }
+
+    /// ETM is exact exactly when both high halves are zero.
+    #[test]
+    fn etm_low_half_exactness(a in any::<u64>(), b in any::<u64>()) {
+        let model = EtmMultiplier::new(8).unwrap();
+        let (a, b) = (a & 0x0f, b & 0x0f);
+        prop_assert_eq!(model.multiply_u64(a, b), u128::from(a) * u128::from(b));
+    }
+
+    /// Truncation loses at most the mass of the dropped columns.
+    #[test]
+    fn truncation_bounded_loss(dropped in 0u32..12, a in any::<u64>(), b in any::<u64>()) {
+        let model = TruncatedMultiplier::new(8, dropped).unwrap();
+        let (a, b) = (a & 0xff, b & 0xff);
+        let exact = u128::from(a) * u128::from(b);
+        let approx = model.multiply_u64(a, b);
+        let bound: u128 = (0..dropped)
+            .map(|w| {
+                let h = w.min(14 - w).min(7) + 1;
+                u128::from(h) << w
+            })
+            .sum();
+        prop_assert!(approx <= exact);
+        prop_assert!(exact - approx <= bound);
+    }
+
+    /// The accurate model agrees with native multiplication at any width.
+    #[test]
+    fn accurate_reference_is_exact(width_half in 1u32..=64, a in any::<u128>(), b in any::<u128>()) {
+        let width = width_half * 2;
+        let model = AccurateMultiplier::new(width).unwrap();
+        let mask = if width == 128 { u128::MAX } else { (1u128 << width) - 1 };
+        let (a, b) = (a & mask, b & mask);
+        let expect = U256::from_u128(a).wrapping_mul(&U256::from_u128(b));
+        prop_assert_eq!(model.multiply(a, b), expect);
+    }
+}
