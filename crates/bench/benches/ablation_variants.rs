@@ -23,7 +23,10 @@ use sdlc_synth::{analyze, AnalysisOptions};
 use sdlc_techlib::Library;
 
 fn main() {
-    banner("Ablations: variants, accumulation schemes, truncation, kernels", "extensions");
+    banner(
+        "Ablations: variants, accumulation schemes, truncation, kernels",
+        "extensions",
+    );
     cluster_variants();
     accumulation_schemes();
     truncation_curve();
@@ -32,7 +35,10 @@ fn main() {
 
 fn cluster_variants() {
     println!("--- 1. tail-schedule variants (8-bit, exhaustive) ---");
-    println!("{:>22} | {:>9} {:>9} {:>9} {:>9}", "variant", "MRED%", "NMED", "ER%", "MaxRED%");
+    println!(
+        "{:>22} | {:>9} {:>9} {:>9} {:>9}",
+        "variant", "MRED%", "NMED", "ER%", "MaxRED%"
+    );
     for depth in [2u32, 3, 4] {
         for variant in [
             ClusterVariant::Progressive,
@@ -68,7 +74,11 @@ fn accumulation_schemes() {
     );
     for scheme in ReductionScheme::all() {
         let exact = timed(&format!("accurate {}", scheme.tag()), || {
-            analyze(accurate_multiplier(16, scheme).expect("valid"), &lib, &options)
+            analyze(
+                accurate_multiplier(16, scheme).expect("valid"),
+                &lib,
+                &options,
+            )
         });
         let model = SdlcMultiplier::new(16, 2).expect("valid");
         let approx = timed(&format!("sdlc {}", scheme.tag()), || {
@@ -97,12 +107,18 @@ fn truncation_curve() {
     println!("--- 3. truncation baseline (8-bit): error vs savings ---");
     let lib = Library::generic_90nm();
     let options = AnalysisOptions::default();
-    let exact =
-        analyze(accurate_multiplier(8, ReductionScheme::RippleRows).expect("valid"), &lib, &options);
+    let exact = analyze(
+        accurate_multiplier(8, ReductionScheme::RippleRows).expect("valid"),
+        &lib,
+        &options,
+    );
     let sdlc_model = SdlcMultiplier::new(8, 2).expect("valid");
     let sdlc_metrics = exhaustive(&sdlc_model).expect("8-bit");
-    let sdlc_report =
-        analyze(sdlc_multiplier(&sdlc_model, ReductionScheme::RippleRows), &lib, &options);
+    let sdlc_report = analyze(
+        sdlc_multiplier(&sdlc_model, ReductionScheme::RippleRows),
+        &lib,
+        &options,
+    );
     let sdlc_savings = sdlc_report.reduction_vs(&exact);
     println!(
         "{:>12} | {:>9} {:>9} | {:>9} {:>9}",
@@ -119,8 +135,11 @@ fn truncation_curve() {
     for dropped in [4u32, 6, 8, 10] {
         let model = TruncatedMultiplier::new(8, dropped).expect("valid");
         let metrics = exhaustive(&model).expect("8-bit");
-        let report =
-            analyze(truncated_multiplier(&model, ReductionScheme::RippleRows), &lib, &options);
+        let report = analyze(
+            truncated_multiplier(&model, ReductionScheme::RippleRows),
+            &lib,
+            &options,
+        );
         let savings = report.reduction_vs(&exact);
         println!(
             "{:>12} | {:8.4} {:9.5} | {:8.1}% {:8.1}%",
@@ -143,7 +162,10 @@ fn kernel_sensitivity() {
     let exact = AccurateMultiplier::new(8).expect("valid");
     for (name, kernel) in [
         ("full-scale (center=255)", FixedKernel::gaussian_3x3(1.5)),
-        ("unit-gain Q0.8 (sum=256)", FixedKernel::gaussian_3x3_unit_gain(1.5)),
+        (
+            "unit-gain Q0.8 (sum=256)",
+            FixedKernel::gaussian_3x3_unit_gain(1.5),
+        ),
     ] {
         let reference = convolve_3x3(&image, &kernel, &exact);
         print!("{name:26}");

@@ -14,8 +14,9 @@ fn main() {
     let mut histograms = Vec::new();
     for width in [4u32, 8, 12] {
         let model = SdlcMultiplier::new(width, 2).expect("valid spec");
-        let hist =
-            timed(&format!("{width}-bit exhaustive"), || RedHistogram::exhaustive(&model));
+        let hist = timed(&format!("{width}-bit exhaustive"), || {
+            RedHistogram::exhaustive(&model)
+        });
         histograms.push((width, hist));
     }
 
@@ -48,7 +49,8 @@ fn main() {
          (leftmost bin dominates), \"rare occurrence for higher errors\" (sharp \
          right-tail decay), and the mass concentrates leftward as width grows."
     );
-    let tail = |h: &RedHistogram| -> f64 { (10..RED_HISTOGRAM_BINS).map(|b| h.probability(b)).sum() };
+    let tail =
+        |h: &RedHistogram| -> f64 { (10..RED_HISTOGRAM_BINS).map(|b| h.probability(b)).sum() };
     println!(
         "tail mass (RED ≥ 10%): 4-bit {:.3}%  8-bit {:.3}%  12-bit {:.3}%",
         tail(&histograms[0].1) * 100.0,

@@ -18,8 +18,11 @@ fn main() {
         "Qiqieh et al., DATE'17, Figure 6",
     );
     let lib = Library::generic_90nm();
-    let widths: &[u32] =
-        if fast_mode() { &[4, 6, 8, 12, 16, 32] } else { &[4, 6, 8, 12, 16, 32, 64, 128] };
+    let widths: &[u32] = if fast_mode() {
+        &[4, 6, 8, 12, 16, 32]
+    } else {
+        &[4, 6, 8, 12, 16, 32, 64, 128]
+    };
     println!(
         "{:>7} | {:>9} {:>9} {:>9} {:>9} {:>9} | cells (exact → sdlc)",
         "width", "dyn pwr", "leakage", "area", "delay", "energy"
@@ -31,7 +34,10 @@ fn main() {
             33..=64 => 128,
             _ => 64,
         };
-        let options = AnalysisOptions { activity_vectors: vectors, ..Default::default() };
+        let options = AnalysisOptions {
+            activity_vectors: vectors,
+            ..Default::default()
+        };
         let (exact, approx) = timed(&format!("{width}-bit flow"), || {
             let exact = analyze(
                 accurate_multiplier(width, ReductionScheme::RippleRows).expect("valid"),
@@ -39,8 +45,11 @@ fn main() {
                 &options,
             );
             let model = SdlcMultiplier::new(width, 2).expect("valid");
-            let approx =
-                analyze(sdlc_multiplier(&model, ReductionScheme::RippleRows), &lib, &options);
+            let approx = analyze(
+                sdlc_multiplier(&model, ReductionScheme::RippleRows),
+                &lib,
+                &options,
+            );
             (exact, approx)
         });
         let savings = approx.reduction_vs(&exact);

@@ -33,7 +33,11 @@ fn main() {
     for depth in [2u32, 3, 4] {
         let model = SdlcMultiplier::new(8, depth).expect("valid");
         let report = timed(&format!("depth-{depth} flow"), || {
-            analyze(sdlc_multiplier(&model, ReductionScheme::RippleRows), &lib, &options)
+            analyze(
+                sdlc_multiplier(&model, ReductionScheme::RippleRows),
+                &lib,
+                &options,
+            )
         });
         let savings = report.reduction_vs(&exact);
         println!(

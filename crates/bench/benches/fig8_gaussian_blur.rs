@@ -57,7 +57,11 @@ fn main() {
         let blurred = convolve_3x3(&image, &kernel, &model);
         let quality = psnr(&reference, &blurred);
         let report = timed(&format!("depth-{depth} synthesis"), || {
-            analyze(sdlc_multiplier(&model, ReductionScheme::RippleRows), &lib, &options)
+            analyze(
+                sdlc_multiplier(&model, ReductionScheme::RippleRows),
+                &lib,
+                &options,
+            )
         });
         let energy_saving = report.reduction_vs(&exact_report).dynamic_power * 100.0;
         println!("{depth}-bit clustering:");

@@ -28,11 +28,22 @@ fn main() {
     let mut last: Option<[(f64, f64); 3]> = None;
     for width in [4u32, 8, 16] {
         let options = AnalysisOptions::default();
-        let exact = analyze(accurate_multiplier(width, scheme).expect("valid"), &lib, &options);
+        let exact = analyze(
+            accurate_multiplier(width, scheme).expect("valid"),
+            &lib,
+            &options,
+        );
         let row = timed(&format!("{width}-bit flows"), || {
-            let etm = analyze(etm_multiplier(width, scheme).expect("valid"), &lib, &options);
-            let kulkarni =
-                analyze(kulkarni_multiplier(width, scheme).expect("valid"), &lib, &options);
+            let etm = analyze(
+                etm_multiplier(width, scheme).expect("valid"),
+                &lib,
+                &options,
+            );
+            let kulkarni = analyze(
+                kulkarni_multiplier(width, scheme).expect("valid"),
+                &lib,
+                &options,
+            );
             let model = SdlcMultiplier::new(width, 2).expect("valid");
             let sdlc = analyze(sdlc_multiplier(&model, scheme), &lib, &options);
             let pair = |r: &AnalysisReport| {

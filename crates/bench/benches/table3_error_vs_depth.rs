@@ -22,7 +22,11 @@ fn main() {
         let metrics = timed(&format!("depth {depth}"), || {
             exhaustive(&model).expect("8-bit is exhaustive")
         });
-        println!("{}-row clusters → {} reduced rows", depth, model.reduced_rows());
+        println!(
+            "{}-row clusters → {} reduced rows",
+            depth,
+            model.reduced_rows()
+        );
         println!("  MRED%    {}", vs(metrics.mred * 100.0, p_mred));
         println!("  NMED     {}", vs(metrics.nmed, p_nmed));
         println!("  ER%      {}", vs(metrics.error_rate * 100.0, p_er));

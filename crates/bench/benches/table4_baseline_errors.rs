@@ -12,7 +12,11 @@ fn main() {
         "Qiqieh et al., DATE'17, Table IV",
     );
     // (name, MRED %, NMED %, ER %) paper values.
-    let paper = [("etm8", 25.2, 2.8, 98.8), ("kulkarni8", 3.25, 1.39, 46.73), ("sdlc8_d2", 1.99, 0.335, 49.11)];
+    let paper = [
+        ("etm8", 25.2, 2.8, 98.8),
+        ("kulkarni8", 3.25, 1.39, 46.73),
+        ("sdlc8_d2", 1.99, 0.335, 49.11),
+    ];
 
     let etm = EtmMultiplier::new(8).expect("valid");
     let kulkarni = KulkarniMultiplier::new(8).expect("valid");

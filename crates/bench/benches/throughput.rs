@@ -13,8 +13,9 @@ fn bench_multipliers(c: &mut Criterion) {
     let mut group = c.benchmark_group("multiply_u64_16bit");
     group.throughput(Throughput::Elements(1));
     let mut rng = SplitMix64::new(1);
-    let operands: Vec<(u64, u64)> =
-        (0..1024).map(|_| (rng.next_bits(16), rng.next_bits(16))).collect();
+    let operands: Vec<(u64, u64)> = (0..1024)
+        .map(|_| (rng.next_bits(16), rng.next_bits(16)))
+        .collect();
     let accurate = AccurateMultiplier::new(16).unwrap();
     let sdlc = SdlcMultiplier::new(16, 2).unwrap();
     let kulkarni = KulkarniMultiplier::new(16).unwrap();
@@ -44,13 +45,17 @@ fn bench_wide_path(c: &mut Criterion) {
     let mut rng = SplitMix64::new(2);
     let operands: Vec<(u128, u128)> = (0..1024)
         .map(|_| {
-            let hi = |r: &mut SplitMix64| (u128::from(r.next_u64()) << 64) | u128::from(r.next_u64());
+            let hi =
+                |r: &mut SplitMix64| (u128::from(r.next_u64()) << 64) | u128::from(r.next_u64());
             (hi(&mut rng), hi(&mut rng))
         })
         .collect();
     let accurate = AccurateMultiplier::new(128).unwrap();
     let sdlc = SdlcMultiplier::new(128, 2).unwrap();
-    for (name, model) in [("accurate", &accurate as &dyn Multiplier), ("sdlc_d2", &sdlc)] {
+    for (name, model) in [
+        ("accurate", &accurate as &dyn Multiplier),
+        ("sdlc_d2", &sdlc),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &operands, |b, ops| {
             let mut i = 0;
             b.iter(|| {
@@ -68,19 +73,27 @@ fn bench_wideint(c: &mut Criterion) {
     let mut rng = SplitMix64::new(3);
     let a: U256 = rng.next_wide(256);
     let b: U256 = rng.next_wide(255);
-    group.bench_function("mul", |bench| bench.iter(|| std::hint::black_box(a.wrapping_mul(&b))));
-    group.bench_function("add", |bench| bench.iter(|| std::hint::black_box(a.wrapping_add(&b))));
+    group.bench_function("mul", |bench| {
+        bench.iter(|| std::hint::black_box(a.wrapping_mul(&b)))
+    });
+    group.bench_function("add", |bench| {
+        bench.iter(|| std::hint::black_box(a.wrapping_add(&b)))
+    });
     group.bench_function("div_rem", |bench| {
         bench.iter(|| std::hint::black_box(a.div_rem(&b)))
     });
-    group.bench_function("to_string", |bench| bench.iter(|| std::hint::black_box(a.to_string())));
+    group.bench_function("to_string", |bench| {
+        bench.iter(|| std::hint::black_box(a.to_string()))
+    });
     group.finish();
 }
 
 fn bench_simulators(c: &mut Criterion) {
     let model = SdlcMultiplier::new(8, 2).unwrap();
-    let netlist =
-        sdlc_core::circuits::sdlc_multiplier(&model, sdlc_core::circuits::ReductionScheme::RippleRows);
+    let netlist = sdlc_core::circuits::sdlc_multiplier(
+        &model,
+        sdlc_core::circuits::ReductionScheme::RippleRows,
+    );
     let inputs = netlist.inputs().len();
     let mut group = c.benchmark_group("simulate_sdlc8_per_vector");
     group.throughput(Throughput::Elements(1));

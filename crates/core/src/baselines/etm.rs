@@ -55,7 +55,9 @@ impl EtmMultiplier {
     ///
     /// Returns [`SpecError`] if the width is odd or outside `2..=128`.
     pub fn new(width: u32) -> Result<Self, SpecError> {
-        Ok(Self { width: check_width(width)? })
+        Ok(Self {
+            width: check_width(width)?,
+        })
     }
 
     /// The non-multiplication OR/ones chain over the low halves
@@ -101,7 +103,10 @@ impl Multiplier for EtmMultiplier {
     }
 
     fn multiply_u64(&self, a: u64, b: u64) -> u128 {
-        assert!(self.width <= 32, "multiply_u64 supports widths up to 32 bits");
+        assert!(
+            self.width <= 32,
+            "multiply_u64 supports widths up to 32 bits"
+        );
         check_operand(self.width, u128::from(a), "left");
         check_operand(self.width, u128::from(b), "right");
         let half = self.width / 2;
@@ -185,7 +190,8 @@ mod tests {
     #[test]
     fn supports_wide_widths() {
         let m = EtmMultiplier::new(64).unwrap();
-        let exact = U256::from_u128(u64::MAX.into()).wrapping_mul(&U256::from_u128(u64::MAX.into()));
+        let exact =
+            U256::from_u128(u64::MAX.into()).wrapping_mul(&U256::from_u128(u64::MAX.into()));
         let p = m.multiply(u128::from(u64::MAX), u128::from(u64::MAX));
         // ETM both over- and under-estimates; just confirm magnitude sanity.
         assert!(p >> 64 > U256::ZERO);

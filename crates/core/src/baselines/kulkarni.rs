@@ -83,7 +83,9 @@ impl KulkarniMultiplier {
         let lh = Self::recurse_wide(half, al, bh);
         let hl = Self::recurse_wide(half, ah, bl);
         let hh = Self::recurse_wide(half, ah, bh);
-        (hh << width).wrapping_add(&(hl.wrapping_add(&lh) << half)).wrapping_add(&ll)
+        (hh << width)
+            .wrapping_add(&(hl.wrapping_add(&lh) << half))
+            .wrapping_add(&ll)
     }
 }
 
@@ -103,7 +105,10 @@ impl Multiplier for KulkarniMultiplier {
     }
 
     fn multiply_u64(&self, a: u64, b: u64) -> u128 {
-        assert!(self.width <= 32, "multiply_u64 supports widths up to 32 bits");
+        assert!(
+            self.width <= 32,
+            "multiply_u64 supports widths up to 32 bits"
+        );
         check_operand(self.width, u128::from(a), "left");
         check_operand(self.width, u128::from(b), "right");
         Self::recurse_u64(self.width, a, b)
@@ -159,7 +164,10 @@ mod tests {
         for _ in 0..2000 {
             let a = rng.next_bits(16);
             let b = rng.next_bits(16);
-            assert_eq!(U256::from_u128(m.multiply_u64(a, b)), m.multiply(u128::from(a), u128::from(b)));
+            assert_eq!(
+                U256::from_u128(m.multiply_u64(a, b)),
+                m.multiply(u128::from(a), u128::from(b))
+            );
         }
     }
 

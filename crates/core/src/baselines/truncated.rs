@@ -47,7 +47,10 @@ impl TruncatedMultiplier {
                 requirement: "truncation must leave at least one column",
             });
         }
-        Ok(Self { width, dropped_columns })
+        Ok(Self {
+            width,
+            dropped_columns,
+        })
     }
 
     /// Number of truncated low columns.
@@ -98,7 +101,10 @@ impl Multiplier for TruncatedMultiplier {
     }
 
     fn multiply_u64(&self, a: u64, b: u64) -> u128 {
-        assert!(self.width <= 32, "multiply_u64 supports widths up to 32 bits");
+        assert!(
+            self.width <= 32,
+            "multiply_u64 supports widths up to 32 bits"
+        );
         check_operand(self.width, u128::from(a), "left");
         check_operand(self.width, u128::from(b), "right");
         let mut product: u128 = 0;
@@ -133,7 +139,7 @@ mod tests {
 
     #[test]
     fn always_underestimates_within_bound() {
-        let m = TruncatedMultiplier::new(8, 6) .unwrap();
+        let m = TruncatedMultiplier::new(8, 6).unwrap();
         // Worst case loss: all dots below weight 6 are ones.
         let bound: u128 = (0..6u32).map(|w| u128::from(w + 1) << w).sum();
         for a in 0..256u64 {

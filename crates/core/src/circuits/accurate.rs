@@ -22,10 +22,7 @@ use crate::multiplier::{check_width, SpecError};
 /// assert_eq!(n.bus("p").unwrap().len(), 16);
 /// # Ok::<(), sdlc_core::SpecError>(())
 /// ```
-pub fn accurate_multiplier(
-    width: u32,
-    scheme: ReductionScheme,
-) -> Result<Netlist, SpecError> {
+pub fn accurate_multiplier(width: u32, scheme: ReductionScheme) -> Result<Netlist, SpecError> {
     let width = check_width(width)?;
     let mut n = Netlist::new(format!("accurate{width}_{}", scheme.tag()));
     let a = n.add_input_bus("a", width);
@@ -57,9 +54,11 @@ mod tests {
     #[test]
     fn exhaustive_equivalence_small_widths() {
         for width in [2u32, 4, 6] {
-            for scheme in
-                [ReductionScheme::RippleRows, ReductionScheme::Wallace, ReductionScheme::Dadda]
-            {
+            for scheme in [
+                ReductionScheme::RippleRows,
+                ReductionScheme::Wallace,
+                ReductionScheme::Dadda,
+            ] {
                 let n = accurate_multiplier(width, scheme).unwrap();
                 n.validate().unwrap();
                 check_exhaustive(&n, width, exact)
@@ -70,9 +69,11 @@ mod tests {
 
     #[test]
     fn sampled_equivalence_16bit() {
-        for scheme in
-            [ReductionScheme::RippleRows, ReductionScheme::Wallace, ReductionScheme::Dadda]
-        {
+        for scheme in [
+            ReductionScheme::RippleRows,
+            ReductionScheme::Wallace,
+            ReductionScheme::Dadda,
+        ] {
             let n = accurate_multiplier(16, scheme).unwrap();
             check_sampled(&n, 16, 400, 5, exact).unwrap();
         }

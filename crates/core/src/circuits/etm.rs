@@ -32,10 +32,16 @@ pub fn etm_multiplier(width: u32, scheme: ReductionScheme) -> Result<Netlist, Sp
     // The single exact half-width multiplier, input-steered by the
     // detector: operands are the low halves when both highs are zero,
     // otherwise the high halves.
-    let ma: Vec<NetId> =
-        ah.iter().zip(&al).map(|(&h, &l)| n.mux2(high_zero, h, l)).collect();
-    let mb: Vec<NetId> =
-        bh.iter().zip(&bl).map(|(&h, &l)| n.mux2(high_zero, h, l)).collect();
+    let ma: Vec<NetId> = ah
+        .iter()
+        .zip(&al)
+        .map(|(&h, &l)| n.mux2(high_zero, h, l))
+        .collect();
+    let mb: Vec<NetId> = bh
+        .iter()
+        .zip(&bl)
+        .map(|(&h, &l)| n.mux2(high_zero, h, l))
+        .collect();
     let rows: Vec<RowBits> = mb
         .iter()
         .enumerate()
@@ -114,6 +120,9 @@ mod tests {
         let n = etm_multiplier(8, ReductionScheme::RippleRows).unwrap();
         let full = crate::circuits::accurate_multiplier(8, ReductionScheme::RippleRows).unwrap();
         assert!(n.gate_count(GateKind::And2) < full.gate_count(GateKind::And2));
-        assert!(n.gate_count(GateKind::Mux2) >= 8, "input steering + low assembly");
+        assert!(
+            n.gate_count(GateKind::Mux2) >= 8,
+            "input steering + low assembly"
+        );
     }
 }

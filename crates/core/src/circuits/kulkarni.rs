@@ -40,7 +40,10 @@ pub fn kulkarni_multiplier(width: u32, scheme: ReductionScheme) -> Result<Netlis
             main_bits.push(o1);
             carry_bits.push((2 * (i + j) as u32 + 2, o2));
         }
-        rows.push(RowBits { offset: 2 * j, bits: main_bits });
+        rows.push(RowBits {
+            offset: 2 * j,
+            bits: main_bits,
+        });
         rows.push(RowBits::from_sparse(&mut n, &carry_bits));
     }
     let product = scheme.accumulate(&mut n, &rows, 2 * width as usize);
@@ -100,8 +103,7 @@ mod tests {
         for width in [8u32, 16] {
             let mut kulkarni = kulkarni_multiplier(width, ReductionScheme::RippleRows).unwrap();
             let mut accurate =
-                crate::circuits::accurate_multiplier(width, ReductionScheme::RippleRows)
-                    .unwrap();
+                crate::circuits::accurate_multiplier(width, ReductionScheme::RippleRows).unwrap();
             passes::optimize(&mut kulkarni);
             passes::optimize(&mut accurate);
             assert!(

@@ -115,9 +115,11 @@ mod tests {
     #[test]
     fn matches_functional_model_across_schemes() {
         let model = SdlcMultiplier::new(6, 2).unwrap();
-        for scheme in
-            [ReductionScheme::RippleRows, ReductionScheme::Wallace, ReductionScheme::Dadda]
-        {
+        for scheme in [
+            ReductionScheme::RippleRows,
+            ReductionScheme::Wallace,
+            ReductionScheme::Dadda,
+        ] {
             let n = sdlc_multiplier(&model, scheme);
             check_exhaustive(&n, 6, |a, b| model.multiply(a, b))
                 .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
@@ -144,8 +146,7 @@ mod tests {
         // partial products using the same number of AND gates".
         let model = SdlcMultiplier::new(8, 2).unwrap();
         let approx = sdlc_multiplier(&model, ReductionScheme::RippleRows);
-        let exact =
-            crate::circuits::accurate_multiplier(8, ReductionScheme::RippleRows).unwrap();
+        let exact = crate::circuits::accurate_multiplier(8, ReductionScheme::RippleRows).unwrap();
         let pp_ands = 64;
         assert!(approx.gate_count(GateKind::And2) >= pp_ands);
         // OR gates: 22 cluster ORs (Figure 2) plus one per full adder.

@@ -86,7 +86,9 @@ impl<M: Multiplier> Multiplier for BiasCompensated<M> {
     }
 
     fn multiply(&self, a: u128, b: u128) -> U256 {
-        self.inner.multiply(a, b).wrapping_add(&U256::from_u64(self.bias))
+        self.inner
+            .multiply(a, b)
+            .wrapping_add(&U256::from_u64(self.bias))
     }
 
     fn multiply_u64(&self, a: u64, b: u64) -> u128 {
@@ -111,8 +113,7 @@ mod tests {
                 for b in 0..256u64 {
                     let exact = i64::try_from(a * b).unwrap();
                     raw_sum += i64::try_from(raw.multiply_u64(a, b)).unwrap() - exact;
-                    comp_sum +=
-                        i64::try_from(compensated.multiply_u64(a, b)).unwrap() - exact;
+                    comp_sum += i64::try_from(compensated.multiply_u64(a, b)).unwrap() - exact;
                 }
             }
             let n = 65536.0;
@@ -132,7 +133,12 @@ mod tests {
         let compensated = BiasCompensated::for_sdlc(raw.clone());
         let before = exhaustive(&raw).unwrap();
         let after = exhaustive(&compensated).unwrap();
-        assert!(after.nmed > before.nmed, "{} vs {}", after.nmed, before.nmed);
+        assert!(
+            after.nmed > before.nmed,
+            "{} vs {}",
+            after.nmed,
+            before.nmed
+        );
         // Small products overshoot: 1×1 is no longer exact.
         assert!(compensated.multiply_u64(1, 1) > 1);
         // ...and zero-product cases become undefined-RED entries.
@@ -182,7 +188,8 @@ mod tests {
         let b = 199u128;
         assert_eq!(
             wrapped.multiply(a, b),
-            raw.multiply(a, b).wrapping_add(&U256::from_u64(wrapped.bias()))
+            raw.multiply(a, b)
+                .wrapping_add(&U256::from_u64(wrapped.bias()))
         );
     }
 }

@@ -86,7 +86,10 @@ pub fn adjacent_ones_profile(width: u32) -> (Vec<f64>, f64) {
 /// ```
 #[must_use]
 pub fn error_rate_depth2(width: u32, variant: ClusterVariant) -> f64 {
-    assert!(width.is_multiple_of(2) && width >= 2, "width must be even and positive");
+    assert!(
+        width.is_multiple_of(2) && width >= 2,
+        "width must be even and positive"
+    );
     let (probs, none) = adjacent_ones_profile(width);
     let pairs = width / 2;
     let mut correct = none;
@@ -98,9 +101,9 @@ pub fn error_rate_depth2(width: u32, variant: ClusterVariant) -> f64 {
             // Pair i's cluster covers columns 1..=N−i, so it can collide
             // iff p ≤ N−i ⟺ i ≤ N−p. At depth 2 every tail schedule
             // except FullOr coincides with Algorithm 1.
-            ClusterVariant::Progressive
-            | ClusterVariant::CeilTails
-            | ClusterVariant::PairTails => (width - p as u32).min(pairs),
+            ClusterVariant::Progressive | ClusterVariant::CeilTails | ClusterVariant::PairTails => {
+                (width - p as u32).min(pairs)
+            }
             ClusterVariant::FullOr => pairs,
         };
         correct += prob * 0.75f64.powi(exposed_pairs as i32);
@@ -274,7 +277,10 @@ mod tests {
         for (width, expect) in [(4u32, 0.010556), (8, 0.003527), (12, 0.000952)] {
             let model = SdlcMultiplier::new(width, 2).unwrap();
             let nmed = normalized_mean_error_distance(&model);
-            assert!((nmed - expect).abs() < 5e-6, "width {width}: {nmed} vs {expect}");
+            assert!(
+                (nmed - expect).abs() < 5e-6,
+                "width {width}: {nmed} vs {expect}"
+            );
         }
     }
 

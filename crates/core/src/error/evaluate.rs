@@ -77,17 +77,17 @@ where
 /// # Panics
 ///
 /// Panics if `threads == 0`.
-pub fn exhaustive_with_threads<M>(
-    multiplier: &M,
-    threads: usize,
-) -> Result<ErrorMetrics, EvalError>
+pub fn exhaustive_with_threads<M>(multiplier: &M, threads: usize) -> Result<ErrorMetrics, EvalError>
 where
     M: Multiplier + Sync,
 {
     assert!(threads > 0, "thread count must be positive");
     let width = multiplier.width();
     if width > EXHAUSTIVE_WIDTH_LIMIT {
-        return Err(EvalError::WidthTooLarge { width, limit: EXHAUSTIVE_WIDTH_LIMIT });
+        return Err(EvalError::WidthTooLarge {
+            width,
+            limit: EXHAUSTIVE_WIDTH_LIMIT,
+        });
     }
     let count: u64 = 1u64 << width;
     let threads = threads.min(count as usize);
@@ -269,7 +269,10 @@ where
     if samples == 0 {
         return Err(EvalError::NoSamples);
     }
-    assert!(multiplier.width() <= 32, "distribution evaluation uses the u64 fast path");
+    assert!(
+        multiplier.width() <= 32,
+        "distribution evaluation uses the u64 fast path"
+    );
     let mut rng = SplitMix64::new(seed);
     let mut acc = ErrorAccumulator::new();
     for i in 0..samples {
@@ -350,7 +353,11 @@ mod tests {
         let m = SdlcMultiplier::new(64, 2).unwrap();
         let metrics = sampled(&m, 4_000, 3).unwrap();
         assert!(metrics.error_rate > 0.9, "wide SDLC errs almost always");
-        assert!(metrics.mred < 1e-3, "but relative error is tiny: {}", metrics.mred);
+        assert!(
+            metrics.mred < 1e-3,
+            "but relative error is tiny: {}",
+            metrics.mred
+        );
     }
 
     #[test]
@@ -364,7 +371,12 @@ mod tests {
         })
         .unwrap();
         let rel = (workload.mred - uniform.mred).abs() / uniform.mred;
-        assert!(rel > 0.2, "workload MRED {} vs uniform {}", workload.mred, uniform.mred);
+        assert!(
+            rel > 0.2,
+            "workload MRED {} vs uniform {}",
+            workload.mred,
+            uniform.mred
+        );
     }
 
     #[test]
@@ -386,6 +398,9 @@ mod tests {
         let a = sampled_with_operands(&m, 1000, 7, draw).unwrap();
         let b = sampled_with_operands(&m, 1000, 7, draw).unwrap();
         assert_eq!(a.mred, b.mred);
-        assert_eq!(sampled_with_operands(&m, 0, 7, draw).unwrap_err(), EvalError::NoSamples);
+        assert_eq!(
+            sampled_with_operands(&m, 0, 7, draw).unwrap_err(),
+            EvalError::NoSamples
+        );
     }
 }

@@ -41,9 +41,14 @@ impl RedHistogram {
     #[must_use]
     pub fn exhaustive<M: Multiplier + Sync>(multiplier: &M) -> Self {
         let width = multiplier.width();
-        assert!(width <= 16, "exhaustive histogram limited to 16-bit multipliers");
+        assert!(
+            width <= 16,
+            "exhaustive histogram limited to 16-bit multipliers"
+        );
         let count: u64 = 1u64 << width;
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(count as usize);
+        let threads = std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(count as usize);
         let chunk = count.div_ceil(threads as u64);
         let mut partials: Vec<RedHistogram> = Vec::new();
         std::thread::scope(|scope| {
@@ -78,7 +83,11 @@ impl RedHistogram {
     /// Creates an empty histogram.
     #[must_use]
     pub fn empty() -> Self {
-        Self { counts: vec![0; RED_HISTOGRAM_BINS], overflow: 0, samples: 0 }
+        Self {
+            counts: vec![0; RED_HISTOGRAM_BINS],
+            overflow: 0,
+            samples: 0,
+        }
     }
 
     /// Records one `(exact, approximate)` product pair.
@@ -165,8 +174,10 @@ mod tests {
     fn probabilities_sum_to_one() {
         let m = SdlcMultiplier::new(8, 2).unwrap();
         let h = RedHistogram::exhaustive(&m);
-        let total: f64 =
-            (0..RED_HISTOGRAM_BINS).map(|b| h.probability(b)).sum::<f64>() + h.overflow_probability();
+        let total: f64 = (0..RED_HISTOGRAM_BINS)
+            .map(|b| h.probability(b))
+            .sum::<f64>()
+            + h.overflow_probability();
         assert!((total - 1.0).abs() < 1e-12);
         assert_eq!(h.samples(), 1 << 16);
     }
@@ -183,7 +194,9 @@ mod tests {
         assert!(tail8 < tail4, "tail4 {tail4} vs tail8 {tail8}");
         // Mean RED also drops with width (Table II trend).
         let mean = |h: &RedHistogram| -> f64 {
-            (0..RED_HISTOGRAM_BINS).map(|b| h.probability(b) * (b as f64 + 0.5)).sum()
+            (0..RED_HISTOGRAM_BINS)
+                .map(|b| h.probability(b) * (b as f64 + 0.5))
+                .sum()
         };
         assert!(mean(&h8) < mean(&h4));
     }

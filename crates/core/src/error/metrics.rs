@@ -134,7 +134,11 @@ impl ErrorAccumulator {
         let red_n = (self.samples - self.undefined_red) as f64;
         let med = self.sum_ed / n;
         let error_rate = self.errors as f64 / n;
-        let mred = if red_n > 0.0 { self.sum_red / red_n } else { 0.0 };
+        let mred = if red_n > 0.0 {
+            self.sum_red / red_n
+        } else {
+            0.0
+        };
         // Standard errors of the sample means (exact sweeps report them
         // too; they are then the finite-population values of a hypothetical
         // redraw, still useful as scale indicators).
@@ -151,7 +155,11 @@ impl ErrorAccumulator {
             nmed: med / pmax.to_f64(),
             max_red: self.max_red,
             max_ed: self.max_ed,
-            mred_std_error: if red_n > 0.0 { (mred_variance / red_n).sqrt() } else { 0.0 },
+            mred_std_error: if red_n > 0.0 {
+                (mred_variance / red_n).sqrt()
+            } else {
+                0.0
+            },
             er_std_error: (error_rate * (1.0 - error_rate) / n).sqrt(),
             undefined_red_count: self.undefined_red,
             worst_red_operands: self.worst_red_operands,

@@ -23,8 +23,7 @@ mod histogram;
 mod metrics;
 
 pub use analytic::{
-    adjacent_ones_profile, error_rate_depth2, mean_error_distance,
-    normalized_mean_error_distance,
+    adjacent_ones_profile, error_rate_depth2, mean_error_distance, normalized_mean_error_distance,
 };
 pub use evaluate::{
     exhaustive, exhaustive_with_threads, sampled, sampled_with_operands, sampled_with_threads,

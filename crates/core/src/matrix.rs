@@ -62,7 +62,9 @@ impl Bit {
     /// Evaluates the bit for concrete operands.
     #[must_use]
     pub fn evaluate(&self, a: u128, b: u128) -> bool {
-        self.dots().iter().any(|&(j, k)| (a >> j) & 1 == 1 && (b >> k) & 1 == 1)
+        self.dots()
+            .iter()
+            .any(|&(j, k)| (a >> j) & 1 == 1 && (b >> k) & 1 == 1)
     }
 }
 
@@ -134,9 +136,13 @@ impl ReducedMatrix {
                 }
                 match compressed.len() {
                     0 => {}
-                    1 => rows[g]
-                        .bits
-                        .push((w, Bit::Exact { j: compressed[0].0, k: compressed[0].1 })),
+                    1 => rows[g].bits.push((
+                        w,
+                        Bit::Exact {
+                            j: compressed[0].0,
+                            k: compressed[0].1,
+                        },
+                    )),
                     _ => rows[g].bits.push((w, Bit::Compressed { dots: compressed })),
                 }
             }
@@ -198,7 +204,10 @@ impl ReducedMatrix {
     /// halved versus the accurate multiplier for depth 2.
     #[must_use]
     pub fn critical_column_height(&self) -> u32 {
-        (0..=2 * self.width - 2).map(|w| self.column_height(w)).max().unwrap_or(0)
+        (0..=2 * self.width - 2)
+            .map(|w| self.column_height(w))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total surviving bits (compressed + exact).

@@ -108,7 +108,10 @@ pub trait Multiplier {
 /// Panics if `width` is 0 or exceeds [`MAX_WIDTH`].
 #[must_use]
 pub fn operand_mask(width: u32) -> u128 {
-    assert!((1..=MAX_WIDTH).contains(&width), "width {width} out of 1..=128");
+    assert!(
+        (1..=MAX_WIDTH).contains(&width),
+        "width {width} out of 1..=128"
+    );
     if width == 128 {
         u128::MAX
     } else {
@@ -128,10 +131,16 @@ pub(crate) fn check_operand(width: u32, operand: u128, which: &str) {
 /// within `2..=128` (partial-product pairing needs an even row count).
 pub(crate) fn check_width(width: u32) -> Result<u32, SpecError> {
     if !(2..=MAX_WIDTH).contains(&width) {
-        return Err(SpecError::Width { width, requirement: "must be in 2..=128" });
+        return Err(SpecError::Width {
+            width,
+            requirement: "must be in 2..=128",
+        });
     }
     if !width.is_multiple_of(2) {
-        return Err(SpecError::Width { width, requirement: "must be even" });
+        return Err(SpecError::Width {
+            width,
+            requirement: "must be even",
+        });
     }
     Ok(width)
 }
@@ -151,7 +160,9 @@ impl AccurateMultiplier {
     ///
     /// Returns [`SpecError`] if the width is odd or outside `2..=128`.
     pub fn new(width: u32) -> Result<Self, SpecError> {
-        Ok(Self { width: check_width(width)? })
+        Ok(Self {
+            width: check_width(width)?,
+        })
     }
 }
 
@@ -184,7 +195,10 @@ mod tests {
     #[test]
     fn accurate_matches_primitive() {
         let m = AccurateMultiplier::new(32).unwrap();
-        assert_eq!(m.multiply_u64(0xffff_ffff, 0xffff_ffff), 0xffff_ffffu128 * 0xffff_ffff);
+        assert_eq!(
+            m.multiply_u64(0xffff_ffff, 0xffff_ffff),
+            0xffff_ffffu128 * 0xffff_ffff
+        );
         assert_eq!(m.name(), "accurate32");
         assert_eq!(m.width(), 32);
     }
@@ -194,7 +208,10 @@ mod tests {
         let m = AccurateMultiplier::new(128).unwrap();
         let p = m.multiply(u128::MAX, u128::MAX);
         // (2^128-1)^2 = 2^256 - 2^129 + 1 = (2^256 - 1) - 2^129 + 2
-        assert_eq!(p, (U256::MAX - (U256::from_u64(1) << 129)) + U256::from_u64(2));
+        assert_eq!(
+            p,
+            (U256::MAX - (U256::from_u64(1) << 129)) + U256::from_u64(2)
+        );
         assert_eq!(p, m.max_product());
     }
 

@@ -129,7 +129,10 @@ fn greedy_cutoffs(width: u32, bounds: &[(u32, u32)]) -> Vec<i64> {
 
 /// Splits `width` rows into uniform groups of `depth` (last may be short).
 fn uniform_bounds(width: u32, depth: u32) -> Vec<(u32, u32)> {
-    (0..width).step_by(depth as usize).map(|base| (base, (base + depth).min(width))).collect()
+    (0..width)
+        .step_by(depth as usize)
+        .map(|base| (base, (base + depth).min(width)))
+        .collect()
 }
 
 /// One cluster of consecutive partial-product rows.
@@ -194,10 +197,16 @@ impl SdlcMultiplier {
     ) -> Result<Self, SpecError> {
         let width = check_width(width)?;
         if depth == 0 {
-            return Err(SpecError::Depth { depth, requirement: "must be at least 1" });
+            return Err(SpecError::Depth {
+                depth,
+                requirement: "must be at least 1",
+            });
         }
         if depth > width {
-            return Err(SpecError::Depth { depth, requirement: "must not exceed the width" });
+            return Err(SpecError::Depth {
+                depth,
+                requirement: "must not exceed the width",
+            });
         }
         let bounds = uniform_bounds(width, depth);
         let cutoffs = greedy_cutoffs(width, &bounds);
@@ -213,8 +222,14 @@ impl SdlcMultiplier {
                 ClusterVariant::FullOr => width,
             })
             .collect();
-        let mut multiplier =
-            Self { width, depth, variant, bounds, thresholds, groups: Vec::new() };
+        let mut multiplier = Self {
+            width,
+            depth,
+            variant,
+            bounds,
+            thresholds,
+            groups: Vec::new(),
+        };
         multiplier.rebuild_groups();
         Ok(multiplier)
     }
@@ -302,10 +317,16 @@ impl SdlcMultiplier {
     ) -> Result<Self, SpecError> {
         let mut multiplier = Self::with_variant(width, depth, ClusterVariant::Progressive)?;
         if thresholds.len() != width as usize {
-            return Err(SpecError::Width { width, requirement: "needs one threshold per row" });
+            return Err(SpecError::Width {
+                width,
+                requirement: "needs one threshold per row",
+            });
         }
         if thresholds.iter().any(|&t| t > width) {
-            return Err(SpecError::Width { width, requirement: "thresholds must be <= width" });
+            return Err(SpecError::Width {
+                width,
+                requirement: "thresholds must be <= width",
+            });
         }
         multiplier.thresholds = thresholds;
         multiplier.rebuild_groups();
@@ -383,7 +404,12 @@ impl SdlcMultiplier {
         for group in &self.groups {
             // Depth of the compressed column at each weight.
             let min_w = group.base;
-            let max_w = group.rows.iter().map(|&(k, _, _)| k + self.width - 1).max().unwrap_or(0);
+            let max_w = group
+                .rows
+                .iter()
+                .map(|&(k, _, _)| k + self.width - 1)
+                .max()
+                .unwrap_or(0);
             for w in min_w..=max_w {
                 let depth_here = group
                     .rows
@@ -413,8 +439,11 @@ impl Multiplier for SdlcMultiplier {
         let depth_part = if uniform {
             format!("d{}", self.depth)
         } else {
-            let depths: Vec<String> =
-                self.bounds.iter().map(|&(b, t)| (t - b).to_string()).collect();
+            let depths: Vec<String> = self
+                .bounds
+                .iter()
+                .map(|&(b, t)| (t - b).to_string())
+                .collect();
             format!("dmix{}", depths.join("_"))
         };
         match self.variant {
@@ -449,7 +478,10 @@ impl Multiplier for SdlcMultiplier {
     }
 
     fn multiply_u64(&self, a: u64, b: u64) -> u128 {
-        assert!(self.width <= 32, "multiply_u64 supports widths up to 32 bits");
+        assert!(
+            self.width <= 32,
+            "multiply_u64 supports widths up to 32 bits"
+        );
         check_operand(self.width, u128::from(a), "left");
         check_operand(self.width, u128::from(b), "right");
         let mut product: u128 = 0;
@@ -498,8 +530,7 @@ mod tests {
             row |= u128::from(bit(a, 0) & bit(b, 2 * i - 2));
             // Lines 8-10: the 2×(N−i) logic cluster.
             for j in 1..=(n - i) {
-                let merged =
-                    (bit(a, j) & bit(b, 2 * i - 2)) | (bit(a, j - 1) & bit(b, 2 * i - 1));
+                let merged = (bit(a, j) & bit(b, 2 * i - 2)) | (bit(a, j - 1) & bit(b, 2 * i - 1));
                 row |= u128::from(merged) << j;
             }
             // Lines 11-15: unaffected MSBs A(N−i)·B(k), k = 2i−1 .. N−1.
@@ -689,8 +720,7 @@ mod tests {
         let d2 = exhaustive(&SdlcMultiplier::new(8, 2).unwrap()).unwrap();
         let d4 = exhaustive(&SdlcMultiplier::new(8, 4).unwrap()).unwrap();
         // Hard compression on the low rows only.
-        let mixed = exhaustive(&SdlcMultiplier::with_group_depths(8, &[4, 2, 2]).unwrap())
-            .unwrap();
+        let mixed = exhaustive(&SdlcMultiplier::with_group_depths(8, &[4, 2, 2]).unwrap()).unwrap();
         assert!(mixed.mred > d2.mred, "{} vs {}", mixed.mred, d2.mred);
         assert!(mixed.mred < d4.mred, "{} vs {}", mixed.mred, d4.mred);
     }

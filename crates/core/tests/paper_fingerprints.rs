@@ -69,7 +69,11 @@ fn greedy_packing_reduces_to_algorithm1_at_depth2() {
     for width in [4u32, 6, 8, 12, 16, 32, 64, 128] {
         let m = SdlcMultiplier::new(width, 2).unwrap();
         for i in 1..=width / 2 {
-            assert_eq!(m.threshold(2 * i - 2), width - i + 1, "N={width} i={i} even row");
+            assert_eq!(
+                m.threshold(2 * i - 2),
+                width - i + 1,
+                "N={width} i={i} even row"
+            );
             assert_eq!(m.threshold(2 * i - 1), width - i, "N={width} i={i} odd row");
         }
     }
@@ -115,8 +119,7 @@ fn error_rate_matches_analytic_model_for_every_even_width_to_16() {
             continue;
         }
         let e = exhaustive(&m).unwrap();
-        let analytic =
-            sdlc_core::error::error_rate_depth2(width, ClusterVariant::Progressive);
+        let analytic = sdlc_core::error::error_rate_depth2(width, ClusterVariant::Progressive);
         assert!(
             (e.error_rate - analytic).abs() < 1e-12,
             "width {width}: simulated {} vs analytic {analytic}",

@@ -18,16 +18,36 @@ fn kulkarni_matches_table4() {
     let e = exhaustive(&KulkarniMultiplier::new(8).unwrap()).unwrap();
     // ER has a closed form: (1 − (3/4)^4)² = 30625/65536 = 46.73 %.
     assert!((e.error_rate - 30625.0 / 65536.0).abs() < 1e-12);
-    assert!((e.mred * 100.0 - 3.25).abs() < 0.05, "MRED {}", e.mred * 100.0);
-    assert!((e.nmed * 100.0 - 1.39).abs() < 0.05, "NMED {}", e.nmed * 100.0);
+    assert!(
+        (e.mred * 100.0 - 3.25).abs() < 0.05,
+        "MRED {}",
+        e.mred * 100.0
+    );
+    assert!(
+        (e.nmed * 100.0 - 1.39).abs() < 0.05,
+        "NMED {}",
+        e.nmed * 100.0
+    );
 }
 
 #[test]
 fn etm_matches_table4() {
     let e = exhaustive(&EtmMultiplier::new(8).unwrap()).unwrap();
-    assert!((e.error_rate * 100.0 - 98.8).abs() < 0.5, "ER {}", e.error_rate * 100.0);
-    assert!((e.mred * 100.0 - 25.2).abs() < 1.5, "MRED {}", e.mred * 100.0);
-    assert!((e.nmed * 100.0 - 2.8).abs() < 0.4, "NMED {}", e.nmed * 100.0);
+    assert!(
+        (e.error_rate * 100.0 - 98.8).abs() < 0.5,
+        "ER {}",
+        e.error_rate * 100.0
+    );
+    assert!(
+        (e.mred * 100.0 - 25.2).abs() < 1.5,
+        "MRED {}",
+        e.mred * 100.0
+    );
+    assert!(
+        (e.nmed * 100.0 - 2.8).abs() < 0.4,
+        "NMED {}",
+        e.nmed * 100.0
+    );
 }
 
 #[test]

@@ -33,7 +33,8 @@ pub fn convolve_3x3(
             let mut acc: i64 = 0;
             for ky in 0..3 {
                 for kx in 0..3 {
-                    let px = image.get_clamped(i64::from(x) + kx as i64 - 1, i64::from(y) + ky as i64 - 1);
+                    let px = image
+                        .get_clamped(i64::from(x) + kx as i64 - 1, i64::from(y) + ky as i64 - 1);
                     let weight = kernel.weight(kx, ky);
                     if weight == 0 || px == 0 {
                         continue;
@@ -75,7 +76,10 @@ mod tests {
         // becomes nearly flat.
         let spread = |im: &GrayImage| {
             let mean = im.mean();
-            im.pixels().iter().map(|&p| (f64::from(p) - mean).powi(2)).sum::<f64>()
+            im.pixels()
+                .iter()
+                .map(|&p| (f64::from(p) - mean).powi(2))
+                .sum::<f64>()
                 / im.pixels().len() as f64
         };
         assert!(spread(&blurred) < spread(&img) / 10.0);

@@ -27,7 +27,11 @@ impl GrayImage {
     #[must_use]
     pub fn new(width: u32, height: u32) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be positive");
-        Self { width, height, data: vec![0; (width * height) as usize] }
+        Self {
+            width,
+            height,
+            data: vec![0; (width * height) as usize],
+        }
     }
 
     /// Builds an image from a pixel function `(x, y) → value`.
@@ -54,8 +58,16 @@ impl GrayImage {
     #[must_use]
     pub fn from_raw(width: u32, height: u32, data: Vec<u8>) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be positive");
-        assert_eq!(data.len(), (width * height) as usize, "pixel count mismatch");
-        Self { width, height, data }
+        assert_eq!(
+            data.len(),
+            (width * height) as usize,
+            "pixel count mismatch"
+        );
+        Self {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Image width in pixels.
@@ -83,7 +95,10 @@ impl GrayImage {
     /// Panics if out of bounds.
     #[must_use]
     pub fn get(&self, x: u32, y: u32) -> u8 {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[(y * self.width + x) as usize]
     }
 
@@ -102,7 +117,10 @@ impl GrayImage {
     ///
     /// Panics if out of bounds.
     pub fn set(&mut self, x: u32, y: u32, value: u8) {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[(y * self.width + x) as usize] = value;
     }
 

@@ -46,7 +46,9 @@ impl FixedKernel {
         let (corner_raw, edge_raw) = Self::raw_weights(sigma);
         let c = (corner_raw * 255.0).round() as u8;
         let e = (edge_raw * 255.0).round() as u8;
-        Self { weights: [[c, e, c], [e, 255, e], [c, e, c]] }
+        Self {
+            weights: [[c, e, c], [e, 255, e], [c, e, c]],
+        }
     }
 
     /// Builds the unit-gain Q0.8 quantization: weights sum to exactly 256,
@@ -65,7 +67,9 @@ impl FixedKernel {
         let center = 256 - 4 * corner - 4 * edge;
         let q = |v: u32| u8::try_from(v).expect("weight fits in a byte");
         let (c, e, m) = (q(corner), q(edge), q(center));
-        Self { weights: [[c, e, c], [e, m, e], [c, e, c]] }
+        Self {
+            weights: [[c, e, c], [e, m, e], [c, e, c]],
+        }
     }
 
     /// Corner and edge weights of the unnormalized Gaussian (center = 1).
@@ -105,7 +109,10 @@ mod tests {
 
     #[test]
     fn both_quantizations_are_symmetric() {
-        for k in [FixedKernel::gaussian_3x3(1.5), FixedKernel::gaussian_3x3_unit_gain(1.5)] {
+        for k in [
+            FixedKernel::gaussian_3x3(1.5),
+            FixedKernel::gaussian_3x3_unit_gain(1.5),
+        ] {
             assert_eq!(k.weight(0, 0), k.weight(2, 2));
             assert_eq!(k.weight(0, 2), k.weight(2, 0));
             assert_eq!(k.weight(1, 0), k.weight(0, 1));

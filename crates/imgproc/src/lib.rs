@@ -46,7 +46,11 @@ pub use pgm::{read_pgm, write_pgm, PgmError};
 /// Panics if dimensions differ.
 #[must_use]
 pub fn mse(reference: &GrayImage, other: &GrayImage) -> f64 {
-    assert_eq!(reference.dimensions(), other.dimensions(), "image sizes differ");
+    assert_eq!(
+        reference.dimensions(),
+        other.dimensions(),
+        "image sizes differ"
+    );
     let n = (reference.width() * reference.height()) as f64;
     let sum: f64 = reference
         .pixels()

@@ -83,7 +83,8 @@ pub fn read_pgm(reader: &mut impl BufRead) -> Result<GrayImage, PgmError> {
         return Err(PgmError::BadMagic(magic));
     }
     let parse = |t: String| -> Result<u32, PgmError> {
-        t.parse().map_err(|_| PgmError::BadHeader(format!("not a number: {t:?}")))
+        t.parse()
+            .map_err(|_| PgmError::BadHeader(format!("not a number: {t:?}")))
     };
     let width = parse(next_token(&content, &mut pos)?)?;
     let height = parse(next_token(&content, &mut pos)?)?;

@@ -29,7 +29,10 @@ pub struct FullAdd {
 
 /// Builds a half adder.
 pub fn half_adder(n: &mut Netlist, a: NetId, b: NetId) -> HalfAdd {
-    HalfAdd { sum: n.xor2(a, b), carry: n.and2(a, b) }
+    HalfAdd {
+        sum: n.xor2(a, b),
+        carry: n.and2(a, b),
+    }
 }
 
 /// Builds a full adder from five 2-input gates:
@@ -54,7 +57,10 @@ pub fn full_adder(n: &mut Netlist, a: NetId, b: NetId, c: NetId) -> FullAdd {
 ///
 /// Panics if both operands are empty.
 pub fn ripple_add(n: &mut Netlist, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
-    assert!(!a.is_empty() || !b.is_empty(), "cannot add two empty vectors");
+    assert!(
+        !a.is_empty() || !b.is_empty(),
+        "cannot add two empty vectors"
+    );
     let width = a.len().max(b.len());
     let mut sum = Vec::with_capacity(width + 1);
     let mut carry: Option<NetId> = None;
@@ -124,8 +130,7 @@ mod tests {
             let value = match gate.kind {
                 GateKind::Input => *map.get(&gate.output).expect("stimulus covers inputs"),
                 kind => {
-                    let pins: Vec<bool> =
-                        gate.inputs.iter().map(|i| values[i.index()]).collect();
+                    let pins: Vec<bool> = gate.inputs.iter().map(|i| values[i.index()]).collect();
                     kind.evaluate(&pins)
                 }
             };
@@ -135,11 +140,17 @@ mod tests {
     }
 
     fn drive(bits: &[NetId], value: u64) -> Vec<(NetId, bool)> {
-        bits.iter().enumerate().map(|(i, &b)| (b, (value >> i) & 1 == 1)).collect()
+        bits.iter()
+            .enumerate()
+            .map(|(i, &b)| (b, (value >> i) & 1 == 1))
+            .collect()
     }
 
     fn read(bits: &[bool]) -> u64 {
-        bits.iter().enumerate().map(|(i, &b)| u64::from(b) << i).sum()
+        bits.iter()
+            .enumerate()
+            .map(|(i, &b)| u64::from(b) << i)
+            .sum()
     }
 
     #[test]

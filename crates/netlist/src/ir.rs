@@ -266,7 +266,11 @@ impl Netlist {
     /// Declares one primary input bit.
     pub fn add_input(&mut self, name: &str) -> NetId {
         let net = self.fresh_net();
-        let gate = Gate { kind: GateKind::Input, inputs: Vec::new(), output: net };
+        let gate = Gate {
+            kind: GateKind::Input,
+            inputs: Vec::new(),
+            output: net,
+        };
         self.driver[net.index()] = Some(self.gates.len());
         self.gates.push(gate);
         self.inputs.push(net);
@@ -280,7 +284,11 @@ impl Netlist {
             .map(|_| {
                 let net = self.fresh_net();
                 self.driver[net.index()] = Some(self.gates.len());
-                self.gates.push(Gate { kind: GateKind::Input, inputs: Vec::new(), output: net });
+                self.gates.push(Gate {
+                    kind: GateKind::Input,
+                    inputs: Vec::new(),
+                    output: net,
+                });
                 self.inputs.push(net);
                 net
             })
@@ -315,14 +323,29 @@ impl Netlist {
     /// Panics if the pin count mismatches or an input net does not exist
     /// yet (feed-forward discipline).
     pub fn add_gate(&mut self, kind: GateKind, inputs: &[NetId]) -> NetId {
-        assert_eq!(inputs.len(), kind.arity(), "{kind:?} takes {} pins", kind.arity());
+        assert_eq!(
+            inputs.len(),
+            kind.arity(),
+            "{kind:?} takes {} pins",
+            kind.arity()
+        );
         for &net in inputs {
-            assert!(net.index() < self.net_count(), "input net {net} does not exist");
-            assert!(self.driver[net.index()].is_some(), "input net {net} is undriven");
+            assert!(
+                net.index() < self.net_count(),
+                "input net {net} does not exist"
+            );
+            assert!(
+                self.driver[net.index()].is_some(),
+                "input net {net} is undriven"
+            );
         }
         let out = self.fresh_net();
         self.driver[out.index()] = Some(self.gates.len());
-        self.gates.push(Gate { kind, inputs: inputs.to_vec(), output: out });
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output: out,
+        });
         out
     }
 
@@ -434,7 +457,10 @@ impl Netlist {
     /// Number of logic cells (everything except `Input`).
     #[must_use]
     pub fn cell_count(&self) -> usize {
-        self.gates.iter().filter(|g| g.kind != GateKind::Input).count()
+        self.gates
+            .iter()
+            .filter(|g| g.kind != GateKind::Input)
+            .count()
     }
 
     /// Fanout count per net.
@@ -465,7 +491,10 @@ impl Netlist {
             }
             for &input in &gate.inputs {
                 if !driven.get(input.index()).copied().unwrap_or(false) {
-                    return Err(ValidateError::UndrivenInput { gate: i, net: input });
+                    return Err(ValidateError::UndrivenInput {
+                        gate: i,
+                        net: input,
+                    });
                 }
             }
             driven[gate.output.index()] = true;
@@ -581,9 +610,15 @@ mod tests {
         // Empty tree gives the constant.
         let mut m = Netlist::new("e");
         let root = m.or_tree(&[]);
-        assert_eq!(m.driver_of(root).map(|i| m.gates()[i].kind), Some(GateKind::Const0));
+        assert_eq!(
+            m.driver_of(root).map(|i| m.gates()[i].kind),
+            Some(GateKind::Const0)
+        );
         let root1 = m.and_tree(&[]);
-        assert_eq!(m.driver_of(root1).map(|i| m.gates()[i].kind), Some(GateKind::Const1));
+        assert_eq!(
+            m.driver_of(root1).map(|i| m.gates()[i].kind),
+            Some(GateKind::Const1)
+        );
     }
 
     #[test]
@@ -607,13 +642,19 @@ mod tests {
         let a = n.add_input("a");
         let _ = a;
         n.outputs.push(NetId(55));
-        assert!(matches!(n.validate(), Err(ValidateError::UndrivenOutput { .. })));
+        assert!(matches!(
+            n.validate(),
+            Err(ValidateError::UndrivenOutput { .. })
+        ));
     }
 
     #[test]
     fn display_of_ids_and_errors() {
         assert_eq!(NetId(3).to_string(), "n3");
-        let err = ValidateError::UndrivenInput { gate: 1, net: NetId(2) };
+        let err = ValidateError::UndrivenInput {
+            gate: 1,
+            net: NetId(2),
+        };
         assert!(err.to_string().contains("n2"));
         assert_eq!(GateKind::Xor2.cell_name(), "XOR2");
         assert_eq!(GateKind::all().len(), 12);

@@ -139,10 +139,18 @@ pub fn fold_constants(netlist: &mut Netlist) -> usize {
     for mut gate in gates {
         match facts[gate.output.index()] {
             NetFact::Const(v) if !matches!(gate.kind, GateKind::Const0 | GateKind::Const1) => {
-                let kind = if v { GateKind::Const1 } else { GateKind::Const0 };
+                let kind = if v {
+                    GateKind::Const1
+                } else {
+                    GateKind::Const0
+                };
                 if gate.kind != GateKind::Input {
                     simplified += 1;
-                    gate = Gate { kind, inputs: Vec::new(), output: gate.output };
+                    gate = Gate {
+                        kind,
+                        inputs: Vec::new(),
+                        output: gate.output,
+                    };
                 }
             }
             NetFact::Alias(root) if gate.kind != GateKind::Buf => {
@@ -151,7 +159,11 @@ pub fn fold_constants(netlist: &mut Netlist) -> usize {
                 // output or feeds nothing else).
                 simplified += 1;
                 let root = resolve(&facts, root);
-                gate = Gate { kind: GateKind::Buf, inputs: vec![root], output: gate.output };
+                gate = Gate {
+                    kind: GateKind::Buf,
+                    inputs: vec![root],
+                    output: gate.output,
+                };
             }
             _ => {}
         }
@@ -225,8 +237,7 @@ mod tests {
             values[gate.output.index()] = match gate.kind {
                 GateKind::Input => map.get(&gate.output).copied().unwrap_or(false),
                 kind => {
-                    let pins: Vec<bool> =
-                        gate.inputs.iter().map(|i| values[i.index()]).collect();
+                    let pins: Vec<bool> = gate.inputs.iter().map(|i| values[i.index()]).collect();
                     kind.evaluate(&pins)
                 }
             };
@@ -343,8 +354,11 @@ mod tests {
         assert!(stats.gates_simplified + stats.dead_gates_removed > 0);
         assert!(optimized.cell_count() <= n.cell_count());
         for v in 0..256u64 {
-            let stim: Vec<(NetId, bool)> =
-                inputs.iter().enumerate().map(|(i, &net)| (net, (v >> i) & 1 == 1)).collect();
+            let stim: Vec<(NetId, bool)> = inputs
+                .iter()
+                .enumerate()
+                .map(|(i, &net)| (net, (v >> i) & 1 == 1))
+                .collect();
             assert_eq!(eval(&n, &stim), eval(&optimized, &stim), "vector {v}");
         }
     }

@@ -179,10 +179,16 @@ pub fn carry_save(n: &mut Netlist, rows: &[RowBits]) -> Vec<NetId> {
     let mut rows = rows.to_vec();
     rows.sort_by_key(|r| r.offset);
     // Capacity: the widest row plus carry headroom for every absorbed row.
-    let width =
-        rows.iter().map(|r| r.offset + r.bits.len()).max().expect("nonempty") + rows.len();
+    let width = rows
+        .iter()
+        .map(|r| r.offset + r.bits.len())
+        .max()
+        .expect("nonempty")
+        + rows.len();
     let at = |row: &RowBits, w: usize| -> Option<NetId> {
-        w.checked_sub(row.offset).and_then(|i| row.bits.get(i)).copied()
+        w.checked_sub(row.offset)
+            .and_then(|i| row.bits.get(i))
+            .copied()
     };
     // Running redundant form: sum + carry vectors.
     let mut sum: Vec<Option<NetId>> = (0..width).map(|w| at(&rows[0], w)).collect();
@@ -227,7 +233,11 @@ fn final_two_row_add(n: &mut Netlist, columns: Columns) -> Vec<NetId> {
     let mut row0 = vec![zero; width];
     let mut row1 = vec![zero; width];
     for (w, column) in columns.iter().enumerate() {
-        assert!(column.len() <= 2, "column {w} not reduced: {}", column.len());
+        assert!(
+            column.len() <= 2,
+            "column {w} not reduced: {}",
+            column.len()
+        );
         if let Some(&bit) = column.first() {
             row0[w] = bit;
         }
@@ -250,8 +260,7 @@ mod tests {
             values[gate.output.index()] = match gate.kind {
                 GateKind::Input => *map.get(&gate.output).expect("input driven"),
                 kind => {
-                    let pins: Vec<bool> =
-                        gate.inputs.iter().map(|i| values[i.index()]).collect();
+                    let pins: Vec<bool> = gate.inputs.iter().map(|i| values[i.index()]).collect();
                     kind.evaluate(&pins)
                 }
             };
@@ -281,9 +290,16 @@ mod tests {
         n.validate().unwrap();
         for x in 0..16u64 {
             for y in 0..16u64 {
-                let mut stim: Vec<(NetId, bool)> =
-                    a.iter().enumerate().map(|(i, &net)| (net, (x >> i) & 1 == 1)).collect();
-                stim.extend(b.iter().enumerate().map(|(i, &net)| (net, (y >> i) & 1 == 1)));
+                let mut stim: Vec<(NetId, bool)> = a
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &net)| (net, (x >> i) & 1 == 1))
+                    .collect();
+                stim.extend(
+                    b.iter()
+                        .enumerate()
+                        .map(|(i, &net)| (net, (y >> i) & 1 == 1)),
+                );
                 assert_eq!(eval(&n, &stim), x * y, "{x}*{y}");
             }
         }
@@ -314,9 +330,16 @@ mod tests {
         n.validate().unwrap();
         for x in 0..16u64 {
             for y in 0..16u64 {
-                let mut stim: Vec<(NetId, bool)> =
-                    a.iter().enumerate().map(|(i, &net)| (net, (x >> i) & 1 == 1)).collect();
-                stim.extend(b.iter().enumerate().map(|(i, &net)| (net, (y >> i) & 1 == 1)));
+                let mut stim: Vec<(NetId, bool)> = a
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &net)| (net, (x >> i) & 1 == 1))
+                    .collect();
+                stim.extend(
+                    b.iter()
+                        .enumerate()
+                        .map(|(i, &net)| (net, (y >> i) & 1 == 1)),
+                );
                 assert_eq!(eval(&n, &stim) & 0xff, x * y, "{x}*{y}");
             }
         }
@@ -329,17 +352,33 @@ mod tests {
         let b = n.add_input_bus("b", 3);
         // rows: a at offset 0, b at offset 2, a again at offset 4.
         let rows = vec![
-            RowBits { offset: 0, bits: a.clone() },
-            RowBits { offset: 2, bits: b.clone() },
-            RowBits { offset: 4, bits: a.clone() },
+            RowBits {
+                offset: 0,
+                bits: a.clone(),
+            },
+            RowBits {
+                offset: 2,
+                bits: b.clone(),
+            },
+            RowBits {
+                offset: 4,
+                bits: a.clone(),
+            },
         ];
         let product = carry_save(&mut n, &rows);
         n.set_output_bus("p", product);
         for x in 0..8u64 {
             for y in 0..8u64 {
-                let mut stim: Vec<(NetId, bool)> =
-                    a.iter().enumerate().map(|(i, &net)| (net, (x >> i) & 1 == 1)).collect();
-                stim.extend(b.iter().enumerate().map(|(i, &net)| (net, (y >> i) & 1 == 1)));
+                let mut stim: Vec<(NetId, bool)> = a
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &net)| (net, (x >> i) & 1 == 1))
+                    .collect();
+                stim.extend(
+                    b.iter()
+                        .enumerate()
+                        .map(|(i, &net)| (net, (y >> i) & 1 == 1)),
+                );
                 assert_eq!(eval(&n, &stim), x + (y << 2) + (x << 4));
             }
         }
@@ -350,7 +389,10 @@ mod tests {
         let wallace_cells = check_multiplier(wallace).cell_count();
         let dadda_cells = check_multiplier(dadda).cell_count();
         // Dadda never uses more adder cells than Wallace.
-        assert!(dadda_cells <= wallace_cells, "{dadda_cells} vs {wallace_cells}");
+        assert!(
+            dadda_cells <= wallace_cells,
+            "{dadda_cells} vs {wallace_cells}"
+        );
     }
 
     #[test]
@@ -371,9 +413,16 @@ mod tests {
         n.validate().unwrap();
         for x in 0..16u64 {
             for y in 0..16u64 {
-                let mut stim: Vec<(NetId, bool)> =
-                    a.iter().enumerate().map(|(i, &net)| (net, (x >> i) & 1 == 1)).collect();
-                stim.extend(b.iter().enumerate().map(|(i, &net)| (net, (y >> i) & 1 == 1)));
+                let mut stim: Vec<(NetId, bool)> = a
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &net)| (net, (x >> i) & 1 == 1))
+                    .collect();
+                stim.extend(
+                    b.iter()
+                        .enumerate()
+                        .map(|(i, &net)| (net, (y >> i) & 1 == 1)),
+                );
                 assert_eq!(eval(&n, &stim), x * y, "{x}*{y}");
             }
         }

@@ -61,7 +61,11 @@ impl NetlistStats {
 
 impl fmt::Display for NetlistStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "design {}: {} cells, {} nets, {}/{} ports", self.name, self.cells, self.nets, self.ports.0, self.ports.1)?;
+        writeln!(
+            f,
+            "design {}: {} cells, {} nets, {}/{} ports",
+            self.name, self.cells, self.nets, self.ports.0, self.ports.1
+        )?;
         for (&kind, &count) in &self.by_kind {
             if kind != GateKind::Input && count > 0 {
                 writeln!(f, "  {:6} {count}", kind.cell_name())?;

@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 use sdlc_netlist::adders::{ripple_add, ripple_add_shifted};
-use sdlc_netlist::reduce::{accumulate_rows_ripple, carry_save, dadda, rows_to_columns, wallace, RowBits};
+use sdlc_netlist::reduce::{
+    accumulate_rows_ripple, carry_save, dadda, rows_to_columns, wallace, RowBits,
+};
 use sdlc_netlist::{passes, to_verilog, GateKind, NetId, Netlist, NetlistStats};
 
 /// Local interpreter (the netlist crate has no simulator dependency).
@@ -23,7 +25,10 @@ fn eval(n: &Netlist, stimulus: &[bool]) -> Vec<bool> {
 }
 
 fn read(bits: &[bool]) -> u64 {
-    bits.iter().enumerate().map(|(i, &b)| u64::from(b) << i).sum()
+    bits.iter()
+        .enumerate()
+        .map(|(i, &b)| u64::from(b) << i)
+        .sum()
 }
 
 fn drive(width: usize, a: u64, b: u64) -> Vec<bool> {

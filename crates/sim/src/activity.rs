@@ -82,12 +82,7 @@ pub fn random_activity(netlist: &Netlist, seed: u64, vectors: u64) -> Activity {
 ///
 /// Panics if `vectors == 0` or the netlist lacks `a`/`b` buses.
 #[must_use]
-pub fn timing_activity(
-    netlist: &Netlist,
-    library: &Library,
-    seed: u64,
-    vectors: u64,
-) -> Activity {
+pub fn timing_activity(netlist: &Netlist, library: &Library, seed: u64, vectors: u64) -> Activity {
     assert!(vectors > 0, "need at least one vector");
     let bus_a = netlist.bus("a").expect("input bus `a`").len() as u32;
     let bus_b = netlist.bus("b").expect("input bus `b`").len() as u32;

@@ -60,7 +60,10 @@ pub fn check_exhaustive(
     width: u32,
     model: impl Fn(u128, u128) -> U256,
 ) -> Result<(), Box<Mismatch>> {
-    assert!(width <= 16, "exhaustive equivalence beyond 16 bits is impractical");
+    assert!(
+        width <= 16,
+        "exhaustive equivalence beyond 16 bits is impractical"
+    );
     let mut sim = LogicSim::new(netlist);
     for a in 0..(1u128 << width) {
         for b in 0..(1u128 << width) {
@@ -84,7 +87,11 @@ pub fn check_sampled(
     model: impl Fn(u128, u128) -> U256,
 ) -> Result<(), Box<Mismatch>> {
     let mut sim = LogicSim::new(netlist);
-    let max = if width == 128 { u128::MAX } else { (1u128 << width) - 1 };
+    let max = if width == 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    };
     for &a in &[0u128, 1, max] {
         for &b in &[0u128, 1, max] {
             check_one(netlist, &mut sim, a, b, &model)?;
@@ -117,7 +124,12 @@ fn check_one(
     let got = read_product(sim, netlist);
     let expect = model(a, b);
     if got != expect {
-        return Err(Box::new(Mismatch { a, b, netlist_product: got, model_product: expect }));
+        return Err(Box::new(Mismatch {
+            a,
+            b,
+            netlist_product: got,
+            model_product: expect,
+        }));
     }
     Ok(())
 }
@@ -167,10 +179,7 @@ mod tests {
     fn mismatch_is_reported_with_operands() {
         let n = wallace_multiplier(4);
         // Deliberately wrong model.
-        let err = check_exhaustive(&n, 4, |a, b| {
-            U256::from_u128(a.wrapping_add(b))
-        })
-        .unwrap_err();
+        let err = check_exhaustive(&n, 4, |a, b| U256::from_u128(a.wrapping_add(b))).unwrap_err();
         let text = err.to_string();
         assert!(text.contains("netlist("));
         // First mismatching pair under row-major order: a=0,b=1 → product 0 vs model 1.

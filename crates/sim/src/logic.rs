@@ -89,7 +89,11 @@ impl<'n> LogicSim<'n> {
     /// Current values of the primary outputs, in declaration order.
     #[must_use]
     pub fn outputs(&self) -> Vec<bool> {
-        self.netlist.outputs().iter().map(|o| self.values[o.index()]).collect()
+        self.netlist
+            .outputs()
+            .iter()
+            .map(|o| self.values[o.index()])
+            .collect()
     }
 
     /// Reads a named little-endian bus as an integer.
@@ -99,7 +103,10 @@ impl<'n> LogicSim<'n> {
     /// Panics if the bus does not exist or exceeds 128 bits.
     #[must_use]
     pub fn read_bus(&self, name: &str) -> u128 {
-        let bits = self.netlist.bus(name).unwrap_or_else(|| panic!("no bus named {name}"));
+        let bits = self
+            .netlist
+            .bus(name)
+            .unwrap_or_else(|| panic!("no bus named {name}"));
         assert!(bits.len() <= 128, "bus {name} wider than 128 bits");
         bits.iter()
             .enumerate()
@@ -145,8 +152,14 @@ impl<'n> LogicSim<'n> {
 pub fn ab_stimulus(netlist: &Netlist, a: u128, b: u128) -> Vec<bool> {
     let bus_a = netlist.bus("a").expect("input bus `a`");
     let bus_b = netlist.bus("b").expect("input bus `b`");
-    assert!(bus_a.len() == 128 || a < (1u128 << bus_a.len()), "operand a overflows bus");
-    assert!(bus_b.len() == 128 || b < (1u128 << bus_b.len()), "operand b overflows bus");
+    assert!(
+        bus_a.len() == 128 || a < (1u128 << bus_a.len()),
+        "operand a overflows bus"
+    );
+    assert!(
+        bus_b.len() == 128 || b < (1u128 << bus_b.len()),
+        "operand b overflows bus"
+    );
     assert_eq!(
         netlist.inputs().len(),
         bus_a.len() + bus_b.len(),

@@ -126,8 +126,9 @@ mod tests {
 
         // 64 lanes × 10 vectors of random stimulus.
         let mut rng = SplitMix64::new(0xACDC);
-        let stream: Vec<Vec<u64>> =
-            (0..10).map(|_| (0..8).map(|_| rng.next_u64()).collect()).collect();
+        let stream: Vec<Vec<u64>> = (0..10)
+            .map(|_| (0..8).map(|_| rng.next_u64()).collect())
+            .collect();
 
         let mut parallel = BitParallelSim::new(&n);
         for word in &stream {
@@ -139,8 +140,7 @@ mod tests {
         for lane in 0..64u32 {
             let mut sim = LogicSim::new(&n);
             for word in &stream {
-                let stimulus: Vec<bool> =
-                    word.iter().map(|&w| (w >> lane) & 1 == 1).collect();
+                let stimulus: Vec<bool> = word.iter().map(|&w| (w >> lane) & 1 == 1).collect();
                 sim.apply(&stimulus);
             }
             for (total, &t) in scalar_totals.iter_mut().zip(sim.toggles()) {

@@ -149,8 +149,7 @@ impl<'n> TimingSim<'n> {
             last_ps = last_ps.max(now_ps);
             for &downstream in &self.fanout[net.index()] {
                 let dg = &self.netlist.gates()[downstream];
-                let pins: Vec<bool> =
-                    dg.inputs.iter().map(|i| self.values[i.index()]).collect();
+                let pins: Vec<bool> = dg.inputs.iter().map(|i| self.values[i.index()]).collect();
                 let out = dg.kind.evaluate(&pins);
                 queue.push(Reverse((
                     t_fixed + to_fixed(self.gate_delay_ps[downstream]),
@@ -159,7 +158,10 @@ impl<'n> TimingSim<'n> {
                 )));
             }
         }
-        ApplyResult { transitions, settle_ps: last_ps }
+        ApplyResult {
+            transitions,
+            settle_ps: last_ps,
+        }
     }
 
     /// Per-net transition counts (glitches included) since construction.
@@ -181,7 +183,10 @@ impl<'n> TimingSim<'n> {
     /// Panics if the bus is unknown or wider than 128 bits.
     #[must_use]
     pub fn read_bus(&self, name: &str) -> u128 {
-        let bits = self.netlist.bus(name).unwrap_or_else(|| panic!("no bus named {name}"));
+        let bits = self
+            .netlist
+            .bus(name)
+            .unwrap_or_else(|| panic!("no bus named {name}"));
         assert!(bits.len() <= 128);
         bits.iter()
             .enumerate()

@@ -34,7 +34,12 @@ pub struct AnalysisOptions {
 
 impl Default for AnalysisOptions {
     fn default() -> Self {
-        Self { optimize: true, activity_vectors: 512, seed: 0x5D_1C, glitch_power: true }
+        Self {
+            optimize: true,
+            activity_vectors: 512,
+            seed: 0x5D_1C,
+            glitch_power: true,
+        }
     }
 }
 
@@ -42,7 +47,11 @@ impl AnalysisOptions {
     /// Fast variant for tests and coarse sweeps: zero-delay activity.
     #[must_use]
     pub fn zero_delay() -> Self {
-        Self { glitch_power: false, activity_vectors: 2048, ..Self::default() }
+        Self {
+            glitch_power: false,
+            activity_vectors: 2048,
+            ..Self::default()
+        }
     }
 }
 
@@ -72,7 +81,13 @@ impl AnalysisReport {
     /// `(base − self) / base`, e.g. `0.42` = 42 % lower than baseline.
     #[must_use]
     pub fn reduction_vs(&self, baseline: &AnalysisReport) -> Savings {
-        let rel = |ours: f64, base: f64| if base > 0.0 { (base - ours) / base } else { 0.0 };
+        let rel = |ours: f64, base: f64| {
+            if base > 0.0 {
+                (base - ours) / base
+            } else {
+                0.0
+            }
+        };
         Savings {
             dynamic_power: rel(self.dynamic_power_uw, baseline.dynamic_power_uw),
             leakage_power: rel(self.leakage_nw, baseline.leakage_nw),
@@ -91,7 +106,11 @@ impl fmt::Display for AnalysisReport {
         writeln!(f, "  leakage : {:.1} nW", self.leakage_nw)?;
         writeln!(f, "  delay   : {:.1} ps", self.delay_ps)?;
         writeln!(f, "  energy  : {:.1} fJ/op", self.energy_fj_per_op)?;
-        writeln!(f, "  dynamic : {:.1} uW @ {REFERENCE_RATE_GHZ} GHz", self.dynamic_power_uw)?;
+        writeln!(
+            f,
+            "  dynamic : {:.1} uW @ {REFERENCE_RATE_GHZ} GHz",
+            self.dynamic_power_uw
+        )?;
         writeln!(f, "  PDP     : {:.1} fJ", self.pdp_fj)
     }
 }
@@ -134,7 +153,11 @@ impl fmt::Display for Savings {
 ///
 /// Panics if the netlist fails validation.
 #[must_use]
-pub fn analyze(mut netlist: Netlist, library: &Library, options: &AnalysisOptions) -> AnalysisReport {
+pub fn analyze(
+    mut netlist: Netlist,
+    library: &Library,
+    options: &AnalysisOptions,
+) -> AnalysisReport {
     netlist.validate().expect("netlist must be well-formed");
     if options.optimize {
         let _ = passes::optimize(&mut netlist);
@@ -202,7 +225,10 @@ mod tests {
         let savings = small.reduction_vs(&big);
         assert!(savings.area > 0.3, "8-bit adder is much smaller: {savings}");
         assert!(savings.delay > 0.3);
-        assert!(savings.energy > 0.3, "PDP compounds power and delay: {savings}");
+        assert!(
+            savings.energy > 0.3,
+            "PDP compounds power and delay: {savings}"
+        );
         assert!(savings.energy > savings.dynamic_power);
         // And the inverse comparison is negative.
         let negative = big.reduction_vs(&small);
@@ -243,7 +269,10 @@ mod tests {
         let raw = analyze(
             n.clone(),
             &lib,
-            &AnalysisOptions { optimize: false, ..Default::default() },
+            &AnalysisOptions {
+                optimize: false,
+                ..Default::default()
+            },
         );
         let opt = analyze(n, &lib, &AnalysisOptions::default());
         assert!(opt.area_um2 < raw.area_um2);

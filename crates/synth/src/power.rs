@@ -7,13 +7,21 @@ use sdlc_techlib::Library;
 /// Total cell area in µm².
 #[must_use]
 pub fn area_um2(netlist: &Netlist, library: &Library) -> f64 {
-    netlist.gates().iter().map(|g| library.cell(g.kind).area_um2).sum()
+    netlist
+        .gates()
+        .iter()
+        .map(|g| library.cell(g.kind).area_um2)
+        .sum()
 }
 
 /// Total leakage power in nW (state-independent cell averages).
 #[must_use]
 pub fn leakage_nw(netlist: &Netlist, library: &Library) -> f64 {
-    netlist.gates().iter().map(|g| library.cell(g.kind).leakage_nw).sum()
+    netlist
+        .gates()
+        .iter()
+        .map(|g| library.cell(g.kind).leakage_nw)
+        .sum()
 }
 
 /// Dynamic energy per input transition ("per operation"), in fJ.
@@ -28,17 +36,16 @@ pub fn leakage_nw(netlist: &Netlist, library: &Library) -> f64 {
 /// Panics if the activity was captured on a different netlist (length
 /// mismatch) or covers zero transitions.
 #[must_use]
-pub fn dynamic_energy_fj_per_op(
-    netlist: &Netlist,
-    library: &Library,
-    activity: &Activity,
-) -> f64 {
+pub fn dynamic_energy_fj_per_op(netlist: &Netlist, library: &Library, activity: &Activity) -> f64 {
     assert_eq!(
         activity.toggles_per_net.len(),
         netlist.net_count(),
         "activity captured on a different netlist"
     );
-    assert!(activity.transition_count > 0, "activity covers no transitions");
+    assert!(
+        activity.transition_count > 0,
+        "activity covers no transitions"
+    );
     // Wire + pin load energy per toggle at ~1.0 V swing.
     const LOAD_ENERGY_FJ_PER_FF: f64 = 0.5;
     let mut fanout_kinds: Vec<Vec<GateKind>> = vec![Vec::new(); netlist.net_count()];
@@ -122,7 +129,10 @@ mod tests {
         let e8 = dynamic_energy_fj_per_op(&n8, &lib, &random_activity(&n8, 5, 2048));
         let e16 = dynamic_energy_fj_per_op(&n16, &lib, &random_activity(&n16, 5, 2048));
         assert!(e8 > 0.0);
-        assert!(e16 > 1.6 * e8, "16-bit adder should burn ~2x: {e16} vs {e8}");
+        assert!(
+            e16 > 1.6 * e8,
+            "16-bit adder should burn ~2x: {e16} vs {e8}"
+        );
     }
 
     #[test]

@@ -41,8 +41,11 @@ pub fn analyze_timing(netlist: &Netlist, library: &Library) -> Timing {
         if gate.kind == GateKind::Input {
             continue;
         }
-        let input_arrival =
-            gate.inputs.iter().map(|i| arrival[i.index()]).fold(0.0f64, f64::max);
+        let input_arrival = gate
+            .inputs
+            .iter()
+            .map(|i| arrival[i.index()])
+            .fold(0.0f64, f64::max);
         let load = library.load_ff(&fanout_kinds[gate.output.index()]);
         let delay = library.cell(gate.kind).delay_ps(load);
         arrival[gate.output.index()] = input_arrival + delay;
@@ -53,7 +56,10 @@ pub fn analyze_timing(netlist: &Netlist, library: &Library) -> Timing {
         .map(|&o| (o, arrival[o.index()]))
         .max_by(|a, b| a.1.total_cmp(&b.1))
         .expect("netlist has outputs");
-    Timing { arrival_ps: arrival, critical }
+    Timing {
+        arrival_ps: arrival,
+        critical,
+    }
 }
 
 /// Extracts the critical path as a list of nets from a primary input to
@@ -155,7 +161,10 @@ mod tests {
             let result = sim.apply(&stim(a, b));
             worst = worst.max(result.settle_ps);
         }
-        assert!(worst <= sta + 1e-6, "dynamic {worst} ps exceeds STA {sta} ps");
+        assert!(
+            worst <= sta + 1e-6,
+            "dynamic {worst} ps exceeds STA {sta} ps"
+        );
         assert!(worst > sta * 0.3, "dynamic settle should approach STA");
     }
 }

@@ -130,22 +130,28 @@ impl Library {
                     cells.insert(cell_name, spec);
                 }
                 other => {
-                    return Err(ParseLibError::Unbalanced(format!("unexpected token {other:?}")))
+                    return Err(ParseLibError::Unbalanced(format!(
+                        "unexpected token {other:?}"
+                    )))
                 }
             }
         }
         if tokens.next().is_some() {
-            return Err(ParseLibError::Unbalanced("content after closing brace".into()));
+            return Err(ParseLibError::Unbalanced(
+                "content after closing brace".into(),
+            ));
         }
 
         let mut library = Self::generic_90nm();
         library.set_name(static_name(&name));
-        library.set_wire_cap(
-            wire_cap.ok_or(ParseLibError::BadCell("missing wire_cap_per_fanout_ff".into()))?,
-        );
+        library.set_wire_cap(wire_cap.ok_or(ParseLibError::BadCell(
+            "missing wire_cap_per_fanout_ff".into(),
+        ))?);
         for (cell_name, kind) in REQUIRED {
-            let spec =
-                cells.get(*cell_name).copied().ok_or(ParseLibError::MissingCell(cell_name))?;
+            let spec = cells
+                .get(*cell_name)
+                .copied()
+                .ok_or(ParseLibError::MissingCell(cell_name))?;
             library.set_cell(*kind, spec);
         }
         Ok(library)
@@ -157,7 +163,11 @@ impl Library {
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "library {} {{", self.name());
-        let _ = writeln!(out, "  wire_cap_per_fanout_ff {}", self.wire_cap_per_fanout_ff());
+        let _ = writeln!(
+            out,
+            "  wire_cap_per_fanout_ff {}",
+            self.wire_cap_per_fanout_ff()
+        );
         for (name, kind) in REQUIRED {
             let c = self.cell(*kind);
             let _ = writeln!(
@@ -191,12 +201,16 @@ fn tokenize(text: &str) -> impl Iterator<Item = String> + '_ {
 fn expect(tokens: &mut impl Iterator<Item = String>, what: &str) -> Result<(), ParseLibError> {
     match tokens.next() {
         Some(t) if t == what => Ok(()),
-        other => Err(ParseLibError::BadHeader(format!("expected {what:?}, found {other:?}"))),
+        other => Err(ParseLibError::BadHeader(format!(
+            "expected {what:?}, found {other:?}"
+        ))),
     }
 }
 
 fn number(tokens: &mut impl Iterator<Item = String>) -> Result<f64, ParseLibError> {
-    let token = tokens.next().ok_or_else(|| ParseLibError::BadNumber("end of input".into()))?;
+    let token = tokens
+        .next()
+        .ok_or_else(|| ParseLibError::BadNumber("end of input".into()))?;
     token.parse().map_err(|_| ParseLibError::BadNumber(token))
 }
 
@@ -212,7 +226,10 @@ mod tests {
             for &kind in GateKind::all() {
                 assert_eq!(parsed.cell(kind), library.cell(kind), "{kind:?}");
             }
-            assert_eq!(parsed.wire_cap_per_fanout_ff(), library.wire_cap_per_fanout_ff());
+            assert_eq!(
+                parsed.wire_cap_per_fanout_ff(),
+                library.wire_cap_per_fanout_ff()
+            );
             assert_eq!(parsed.name(), library.name());
         }
     }
@@ -237,7 +254,11 @@ library test1 {
         let lib = Library::from_text(text).unwrap();
         assert_eq!(lib.wire_cap_per_fanout_ff(), 1.5);
         assert_eq!(lib.cell(GateKind::Xor2).area_um2, 3.0);
-        assert_eq!(lib.cell(GateKind::Input).area_um2, 0.0, "free cells implicit");
+        assert_eq!(
+            lib.cell(GateKind::Input).area_um2,
+            0.0,
+            "free cells implicit"
+        );
     }
 
     #[test]
@@ -263,7 +284,10 @@ library test1 {
             Err(ParseLibError::BadCell(_))
         ));
         let trailing = format!("{} extra", Library::generic_90nm().to_text());
-        assert!(matches!(Library::from_text(&trailing), Err(ParseLibError::Unbalanced(_))));
+        assert!(matches!(
+            Library::from_text(&trailing),
+            Err(ParseLibError::Unbalanced(_))
+        ));
     }
 
     #[test]

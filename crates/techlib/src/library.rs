@@ -43,7 +43,11 @@ impl Library {
             spec("XNOR2", 7.4, 3.0, 37.0, 5.0, 2.3, 4.5),
             spec("MUX2", 7.4, 2.6, 34.0, 4.6, 2.1, 4.2),
         ];
-        Self { name: "generic90", cells, wire_cap_per_fanout_ff: 0.9 }
+        Self {
+            name: "generic90",
+            cells,
+            wire_cap_per_fanout_ff: 0.9,
+        }
     }
 
     /// A synthetic 65 nm-class library: roughly 0.55× the area, 0.7× the
@@ -67,7 +71,11 @@ impl Library {
             cell.switch_energy_fj *= 0.50;
             cell.leakage_nw *= 1.60; // leakage grows per-gate at 65 nm
         }
-        Self { name: "generic65", cells, wire_cap_per_fanout_ff: 0.7 }
+        Self {
+            name: "generic65",
+            cells,
+            wire_cap_per_fanout_ff: 0.7,
+        }
     }
 
     /// Library name.
@@ -146,7 +154,11 @@ mod tests {
         let lib = Library::generic_90nm();
         for &kind in GateKind::all() {
             let cell = lib.cell(kind);
-            assert_eq!(cell.name, kind.cell_name(), "cell table order broken for {kind:?}");
+            assert_eq!(
+                cell.name,
+                kind.cell_name(),
+                "cell table order broken for {kind:?}"
+            );
         }
     }
 
@@ -172,7 +184,10 @@ mod tests {
         let inv = lib.cell(GateKind::Not);
         let load = lib.load_ff(&[GateKind::Not; 4]);
         let fo4 = inv.delay_ps(load);
-        assert!((35.0..60.0).contains(&fo4), "FO4 {fo4} ps out of the 90nm ballpark");
+        assert!(
+            (35.0..60.0).contains(&fo4),
+            "FO4 {fo4} ps out of the 90nm ballpark"
+        );
     }
 
     #[test]

@@ -216,9 +216,15 @@ mod tests {
         let z: U256 = "1_000_000".parse().unwrap();
         assert_eq!(z.as_u64(), 1_000_000);
         assert_eq!("".parse::<U256>(), Err(ParseWideError::Empty));
-        assert_eq!("12g".parse::<U256>(), Err(ParseWideError::InvalidDigit('g')));
+        assert_eq!(
+            "12g".parse::<U256>(),
+            Err(ParseWideError::InvalidDigit('g'))
+        );
         let huge = "f".repeat(65);
-        assert_eq!(U256::from_str_radix(&huge, 16), Err(ParseWideError::Overflow));
+        assert_eq!(
+            U256::from_str_radix(&huge, 16),
+            Err(ParseWideError::Overflow)
+        );
     }
 
     #[test]

@@ -41,7 +41,9 @@ impl<const L: usize> Wide<L> {
     };
 
     /// The largest representable value (all bits set).
-    pub const MAX: Self = Self { limbs: [u64::MAX; L] };
+    pub const MAX: Self = Self {
+        limbs: [u64::MAX; L],
+    };
 
     /// Creates a zero value; identical to [`Wide::ZERO`].
     ///
@@ -92,7 +94,11 @@ impl<const L: usize> Wide<L> {
     /// Panics if `i >= Self::BITS`.
     #[must_use]
     pub fn bit(&self, i: u32) -> bool {
-        assert!(i < Self::BITS, "bit index {i} out of range for {} bits", Self::BITS);
+        assert!(
+            i < Self::BITS,
+            "bit index {i} out of range for {} bits",
+            Self::BITS
+        );
         (self.limbs[(i / 64) as usize] >> (i % 64)) & 1 == 1
     }
 
@@ -102,7 +108,11 @@ impl<const L: usize> Wide<L> {
     ///
     /// Panics if `i >= Self::BITS`.
     pub fn set_bit(&mut self, i: u32, value: bool) {
-        assert!(i < Self::BITS, "bit index {i} out of range for {} bits", Self::BITS);
+        assert!(
+            i < Self::BITS,
+            "bit index {i} out of range for {} bits",
+            Self::BITS
+        );
         let limb = &mut self.limbs[(i / 64) as usize];
         let mask = 1u64 << (i % 64);
         if value {

@@ -2,8 +2,8 @@
 
 use core::cmp::Ordering;
 use core::ops::{
-    Add, AddAssign, BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Mul,
-    MulAssign, Not, Shl, ShlAssign, Shr, ShrAssign, Sub, SubAssign,
+    Add, AddAssign, BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Mul, MulAssign,
+    Not, Shl, ShlAssign, Shr, ShrAssign, Sub, SubAssign,
 };
 
 use crate::Wide;
@@ -116,9 +116,7 @@ impl<const L: usize> Wide<L> {
                 continue;
             }
             for j in 0..L {
-                let t = a * u128::from(rhs.limbs()[j])
-                    + u128::from(acc[i + j])
-                    + u128::from(carry);
+                let t = a * u128::from(rhs.limbs()[j]) + u128::from(acc[i + j]) + u128::from(carry);
                 acc[i + j] = t as u64;
                 carry = (t >> 64) as u64;
             }
@@ -247,90 +245,90 @@ impl<const L: usize> Ord for Wide<L> {
 // items; clippy flags the immediate call inside the expansion.
 #[allow(clippy::redundant_closure_call)]
 mod binop_impls {
-use super::*;
-macro_rules! forward_binop {
-    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident, $imp:expr) => {
-        impl<const L: usize> $trait for Wide<L> {
-            type Output = Wide<L>;
-            fn $method(self, rhs: Wide<L>) -> Wide<L> {
-                let f: fn(&Wide<L>, &Wide<L>) -> Wide<L> = $imp;
-                f(&self, &rhs)
+    use super::*;
+    macro_rules! forward_binop {
+        ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident, $imp:expr) => {
+            impl<const L: usize> $trait for Wide<L> {
+                type Output = Wide<L>;
+                fn $method(self, rhs: Wide<L>) -> Wide<L> {
+                    let f: fn(&Wide<L>, &Wide<L>) -> Wide<L> = $imp;
+                    f(&self, &rhs)
+                }
             }
-        }
-        impl<const L: usize> $trait<&Wide<L>> for Wide<L> {
-            type Output = Wide<L>;
-            fn $method(self, rhs: &Wide<L>) -> Wide<L> {
-                let f: fn(&Wide<L>, &Wide<L>) -> Wide<L> = $imp;
-                f(&self, rhs)
+            impl<const L: usize> $trait<&Wide<L>> for Wide<L> {
+                type Output = Wide<L>;
+                fn $method(self, rhs: &Wide<L>) -> Wide<L> {
+                    let f: fn(&Wide<L>, &Wide<L>) -> Wide<L> = $imp;
+                    f(&self, rhs)
+                }
             }
-        }
-        impl<const L: usize> $assign_trait for Wide<L> {
-            fn $assign_method(&mut self, rhs: Wide<L>) {
-                let f: fn(&Wide<L>, &Wide<L>) -> Wide<L> = $imp;
-                *self = f(self, &rhs);
+            impl<const L: usize> $assign_trait for Wide<L> {
+                fn $assign_method(&mut self, rhs: Wide<L>) {
+                    let f: fn(&Wide<L>, &Wide<L>) -> Wide<L> = $imp;
+                    *self = f(self, &rhs);
+                }
             }
+        };
+    }
+
+    #[cfg(debug_assertions)]
+    fn add_impl<const L: usize>(a: &Wide<L>, b: &Wide<L>) -> Wide<L> {
+        let (sum, overflow) = a.overflowing_add(b);
+        assert!(!overflow, "attempt to add with overflow");
+        sum
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn add_impl<const L: usize>(a: &Wide<L>, b: &Wide<L>) -> Wide<L> {
+        a.wrapping_add(b)
+    }
+
+    #[cfg(debug_assertions)]
+    fn sub_impl<const L: usize>(a: &Wide<L>, b: &Wide<L>) -> Wide<L> {
+        let (diff, overflow) = a.overflowing_sub(b);
+        assert!(!overflow, "attempt to subtract with overflow");
+        diff
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn sub_impl<const L: usize>(a: &Wide<L>, b: &Wide<L>) -> Wide<L> {
+        a.wrapping_sub(b)
+    }
+
+    #[cfg(debug_assertions)]
+    fn mul_impl<const L: usize>(a: &Wide<L>, b: &Wide<L>) -> Wide<L> {
+        a.checked_mul(b).expect("attempt to multiply with overflow")
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn mul_impl<const L: usize>(a: &Wide<L>, b: &Wide<L>) -> Wide<L> {
+        a.wrapping_mul(b)
+    }
+
+    forward_binop!(Add, add, AddAssign, add_assign, add_impl);
+    forward_binop!(Sub, sub, SubAssign, sub_assign, sub_impl);
+    forward_binop!(Mul, mul, MulAssign, mul_assign, mul_impl);
+    forward_binop!(BitAnd, bitand, BitAndAssign, bitand_assign, |a, b| {
+        let mut out = Wide::ZERO;
+        for i in 0..L {
+            out.limbs_mut()[i] = a.limbs()[i] & b.limbs()[i];
         }
-    };
-}
-
-#[cfg(debug_assertions)]
-fn add_impl<const L: usize>(a: &Wide<L>, b: &Wide<L>) -> Wide<L> {
-    let (sum, overflow) = a.overflowing_add(b);
-    assert!(!overflow, "attempt to add with overflow");
-    sum
-}
-
-#[cfg(not(debug_assertions))]
-fn add_impl<const L: usize>(a: &Wide<L>, b: &Wide<L>) -> Wide<L> {
-    a.wrapping_add(b)
-}
-
-#[cfg(debug_assertions)]
-fn sub_impl<const L: usize>(a: &Wide<L>, b: &Wide<L>) -> Wide<L> {
-    let (diff, overflow) = a.overflowing_sub(b);
-    assert!(!overflow, "attempt to subtract with overflow");
-    diff
-}
-
-#[cfg(not(debug_assertions))]
-fn sub_impl<const L: usize>(a: &Wide<L>, b: &Wide<L>) -> Wide<L> {
-    a.wrapping_sub(b)
-}
-
-#[cfg(debug_assertions)]
-fn mul_impl<const L: usize>(a: &Wide<L>, b: &Wide<L>) -> Wide<L> {
-    a.checked_mul(b).expect("attempt to multiply with overflow")
-}
-
-#[cfg(not(debug_assertions))]
-fn mul_impl<const L: usize>(a: &Wide<L>, b: &Wide<L>) -> Wide<L> {
-    a.wrapping_mul(b)
-}
-
-forward_binop!(Add, add, AddAssign, add_assign, add_impl);
-forward_binop!(Sub, sub, SubAssign, sub_assign, sub_impl);
-forward_binop!(Mul, mul, MulAssign, mul_assign, mul_impl);
-forward_binop!(BitAnd, bitand, BitAndAssign, bitand_assign, |a, b| {
-    let mut out = Wide::ZERO;
-    for i in 0..L {
-        out.limbs_mut()[i] = a.limbs()[i] & b.limbs()[i];
-    }
-    out
-});
-forward_binop!(BitOr, bitor, BitOrAssign, bitor_assign, |a, b| {
-    let mut out = Wide::ZERO;
-    for i in 0..L {
-        out.limbs_mut()[i] = a.limbs()[i] | b.limbs()[i];
-    }
-    out
-});
-forward_binop!(BitXor, bitxor, BitXorAssign, bitxor_assign, |a, b| {
-    let mut out = Wide::ZERO;
-    for i in 0..L {
-        out.limbs_mut()[i] = a.limbs()[i] ^ b.limbs()[i];
-    }
-    out
-});
+        out
+    });
+    forward_binop!(BitOr, bitor, BitOrAssign, bitor_assign, |a, b| {
+        let mut out = Wide::ZERO;
+        for i in 0..L {
+            out.limbs_mut()[i] = a.limbs()[i] | b.limbs()[i];
+        }
+        out
+    });
+    forward_binop!(BitXor, bitxor, BitXorAssign, bitxor_assign, |a, b| {
+        let mut out = Wide::ZERO;
+        for i in 0..L {
+            out.limbs_mut()[i] = a.limbs()[i] ^ b.limbs()[i];
+        }
+        out
+    });
 }
 
 impl<const L: usize> Not for Wide<L> {
@@ -399,7 +397,12 @@ mod tests {
 
     #[test]
     fn mul_matches_u128() {
-        for (a, b) in [(3u64, 5u64), (u64::MAX, u64::MAX), (0, 77), (1 << 40, 1 << 41)] {
+        for (a, b) in [
+            (3u64, 5u64),
+            (u64::MAX, u64::MAX),
+            (0, 77),
+            (1 << 40, 1 << 41),
+        ] {
             let expect = u128::from(a) * u128::from(b);
             let got = U256::from_u64(a) * U256::from_u64(b);
             assert_eq!(got, U256::from_u128(expect), "{a} * {b}");

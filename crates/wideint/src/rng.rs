@@ -168,7 +168,11 @@ mod tests {
         let mut g = SplitMix64::new(11);
         for bits in [0u32, 1, 64, 65, 128, 255, 256] {
             let v: U256 = g.next_wide(bits);
-            assert!(v.bit_len() <= bits, "value used {} bits > {bits}", v.bit_len());
+            assert!(
+                v.bit_len() <= bits,
+                "value used {} bits > {bits}",
+                v.bit_len()
+            );
         }
         // Top bits should actually get populated eventually.
         let mut top_seen = false;

@@ -12,8 +12,9 @@ use sdlc::netlist::{passes, to_verilog, NetlistStats};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
-    let out_dir: PathBuf =
-        args.next().map_or_else(|| std::env::temp_dir().join("sdlc_verilog"), PathBuf::from);
+    let out_dir: PathBuf = args
+        .next()
+        .map_or_else(|| std::env::temp_dir().join("sdlc_verilog"), PathBuf::from);
     let width: u32 = args.next().map_or(Ok(8), |s| s.parse())?;
     std::fs::create_dir_all(&out_dir)?;
 
@@ -27,7 +28,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let stats = NetlistStats::of(&netlist);
         let path = out_dir.join(format!("{}.v", netlist.name()));
         std::fs::write(&path, to_verilog(&netlist))?;
-        println!("wrote {} ({} cells, {} nets)", path.display(), stats.cells, stats.nets);
+        println!(
+            "wrote {} ({} cells, {} nets)",
+            path.display(),
+            stats.cells,
+            stats.nets
+        );
     }
     println!("\nmodules use the a/b input and p output bus convention;");
     println!("simulate against `sdlc::core` models for golden vectors.");

@@ -12,17 +12,26 @@ use sdlc::core::{AccurateMultiplier, Multiplier, SdlcMultiplier};
 /// Windowed-sinc low-pass prototype, quantized to unsigned Q0.8 taps.
 fn design_lowpass(taps: usize, cutoff: f64) -> Vec<u8> {
     let mid = (taps - 1) as f64 / 2.0;
-    let sinc = |x: f64| if x == 0.0 { 1.0 } else { (std::f64::consts::PI * x).sin() / (std::f64::consts::PI * x) };
+    let sinc = |x: f64| {
+        if x == 0.0 {
+            1.0
+        } else {
+            (std::f64::consts::PI * x).sin() / (std::f64::consts::PI * x)
+        }
+    };
     let raw: Vec<f64> = (0..taps)
         .map(|i| {
             let n = i as f64 - mid;
             // Hamming window.
-            let window = 0.54 - 0.46 * (2.0 * std::f64::consts::PI * i as f64 / (taps - 1) as f64).cos();
+            let window =
+                0.54 - 0.46 * (2.0 * std::f64::consts::PI * i as f64 / (taps - 1) as f64).cos();
             sinc(2.0 * cutoff * n) * window
         })
         .collect();
     let sum: f64 = raw.iter().sum();
-    raw.iter().map(|&c| ((c / sum * 255.0).max(0.0)).round() as u8).collect()
+    raw.iter()
+        .map(|&c| ((c / sum * 255.0).max(0.0)).round() as u8)
+        .collect()
 }
 
 /// Filters an unsigned 8-bit signal; products come from `multiplier`.
@@ -77,7 +86,10 @@ fn main() -> Result<(), sdlc::core::SpecError> {
         tone_power(&reference, 0.37) * 2.0
     );
 
-    println!("\n{:>8} {:>12} {:>14}", "depth", "SNR (dB)", "max |err| LSB");
+    println!(
+        "\n{:>8} {:>12} {:>14}",
+        "depth", "SNR (dB)", "max |err| LSB"
+    );
     for depth in [2u32, 3, 4] {
         let model = SdlcMultiplier::new(8, depth)?;
         let approx = fir(&signal, &taps, &model);

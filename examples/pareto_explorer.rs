@@ -31,9 +31,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut candidates: Vec<Candidate> = Vec::new();
     let push = |name: String,
-                    metrics: &sdlc::core::error::ErrorMetrics,
-                    netlist: Netlist,
-                    candidates: &mut Vec<Candidate>| {
+                metrics: &sdlc::core::error::ErrorMetrics,
+                netlist: Netlist,
+                candidates: &mut Vec<Candidate>| {
         let report = analyze(netlist, &lib, &options);
         candidates.push(Candidate {
             name,
@@ -47,31 +47,65 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for variant in [ClusterVariant::Progressive, ClusterVariant::FullOr] {
             let model = SdlcMultiplier::with_variant(8, depth, variant)?;
             let metrics = exhaustive(&model).expect("8-bit");
-            push(model.name(), &metrics, sdlc_multiplier(&model, scheme), &mut candidates);
+            push(
+                model.name(),
+                &metrics,
+                sdlc_multiplier(&model, scheme),
+                &mut candidates,
+            );
         }
     }
     // Heterogeneous depth mixes (harder compression on less significant rows).
-    for depths in [vec![4u32, 2, 2], vec![2, 2, 4], vec![2, 3, 3], vec![6, 2], vec![2, 6]] {
+    for depths in [
+        vec![4u32, 2, 2],
+        vec![2, 2, 4],
+        vec![2, 3, 3],
+        vec![6, 2],
+        vec![2, 6],
+    ] {
         let model = SdlcMultiplier::with_group_depths(8, &depths)?;
         let metrics = exhaustive(&model).expect("8-bit");
-        push(model.name(), &metrics, sdlc_multiplier(&model, scheme), &mut candidates);
+        push(
+            model.name(),
+            &metrics,
+            sdlc_multiplier(&model, scheme),
+            &mut candidates,
+        );
     }
     // Truncation sweep.
     for dropped in [4u32, 6, 8] {
         let model = TruncatedMultiplier::new(8, dropped)?;
         let metrics = exhaustive(&model).expect("8-bit");
-        push(model.name(), &metrics, truncated_multiplier(&model, scheme), &mut candidates);
+        push(
+            model.name(),
+            &metrics,
+            truncated_multiplier(&model, scheme),
+            &mut candidates,
+        );
     }
     // Published baselines.
     let kulkarni = KulkarniMultiplier::new(8)?;
     let metrics = exhaustive(&kulkarni).expect("8-bit");
-    push(kulkarni.name(), &metrics, kulkarni_multiplier(8, scheme)?, &mut candidates);
+    push(
+        kulkarni.name(),
+        &metrics,
+        kulkarni_multiplier(8, scheme)?,
+        &mut candidates,
+    );
     let etm = EtmMultiplier::new(8)?;
     let metrics = exhaustive(&etm).expect("8-bit");
-    push(etm.name(), &metrics, etm_multiplier(8, scheme)?, &mut candidates);
+    push(
+        etm.name(),
+        &metrics,
+        etm_multiplier(8, scheme)?,
+        &mut candidates,
+    );
 
     candidates.sort_by(|a, b| a.mred_pct.total_cmp(&b.mred_pct));
-    println!("{:>22} | {:>9} | {:>10} | pareto", "design", "MRED %", "energy sav");
+    println!(
+        "{:>22} | {:>9} | {:>10} | pareto",
+        "design", "MRED %", "energy sav"
+    );
     let mut best_energy = f64::NEG_INFINITY;
     for c in &candidates {
         // Walking in MRED order, a point is Pareto-optimal iff it beats

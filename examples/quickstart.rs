@@ -24,7 +24,11 @@ fn main() -> Result<(), sdlc::core::SpecError> {
 
     // The error *rate* also has an exact closed form (crate extension).
     let analytic = error::error_rate_depth2(8, approx.variant());
-    println!("  analytic ER = {:.4}% (simulation: {:.4}%)", analytic * 100.0, metrics.error_rate * 100.0);
+    println!(
+        "  analytic ER = {:.4}% (simulation: {:.4}%)",
+        analytic * 100.0,
+        metrics.error_rate * 100.0
+    );
 
     // Deeper clusters trade accuracy for hardware savings (Table III).
     println!("\ncluster-depth trade-off (8-bit):");

@@ -79,23 +79,21 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         let mut value = || {
-            iter.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
         };
         match flag.as_str() {
             "--width" => {
-                options.width =
-                    value()?.parse().map_err(|e| format!("bad --width: {e}"))?;
+                options.width = value()?.parse().map_err(|e| format!("bad --width: {e}"))?;
             }
             "--depth" => {
-                options.depth =
-                    value()?.parse().map_err(|e| format!("bad --depth: {e}"))?;
+                options.depth = value()?.parse().map_err(|e| format!("bad --depth: {e}"))?;
             }
             "--depths" => {
                 let list = value()?;
-                let parsed: Result<Vec<u32>, _> =
-                    list.split(',').map(str::parse).collect();
-                options.depths =
-                    Some(parsed.map_err(|e| format!("bad --depths {list:?}: {e}"))?);
+                let parsed: Result<Vec<u32>, _> = list.split(',').map(str::parse).collect();
+                options.depths = Some(parsed.map_err(|e| format!("bad --depths {list:?}: {e}"))?);
             }
             "--variant" => {
                 options.variant = match value()?.as_str() {
@@ -116,8 +114,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 };
             }
             "--samples" => {
-                options.samples =
-                    value()?.parse().map_err(|e| format!("bad --samples: {e}"))?;
+                options.samples = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --samples: {e}"))?;
             }
             "--out" => options.out = Some(value()?),
             "--lib" => options.lib = Some(value()?),
@@ -163,8 +162,7 @@ fn load_library(options: &Options) -> Result<Library, String> {
     match &options.lib {
         None => Ok(Library::generic_90nm()),
         Some(path) => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             Library::from_text(&text).map_err(|e| format!("parsing {path}: {e}"))
         }
     }

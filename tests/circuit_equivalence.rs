@@ -33,11 +33,16 @@ fn every_generator_matches_its_model_at_6_bits() {
     }
     // ETM and truncation.
     let etm = EtmMultiplier::new(6).unwrap();
-    check_exhaustive(&etm_multiplier(6, scheme).unwrap(), 6, |a, b| etm.multiply(a, b)).unwrap();
+    check_exhaustive(&etm_multiplier(6, scheme).unwrap(), 6, |a, b| {
+        etm.multiply(a, b)
+    })
+    .unwrap();
     for dropped in [0u32, 3, 7] {
         let model = TruncatedMultiplier::new(6, dropped).unwrap();
-        check_exhaustive(&truncated_multiplier(&model, scheme), 6, |a, b| model.multiply(a, b))
-            .unwrap_or_else(|e| panic!("trunc {dropped}: {e}"));
+        check_exhaustive(&truncated_multiplier(&model, scheme), 6, |a, b| {
+            model.multiply(a, b)
+        })
+        .unwrap_or_else(|e| panic!("trunc {dropped}: {e}"));
     }
 }
 
@@ -82,8 +87,10 @@ fn all_three_engines_agree_on_an_sdlc_multiplier() {
         let b = u128::from(rng.next_bits(8));
         let stimulus = ab_stimulus(&netlist, a, b);
         scalar.apply(&stimulus);
-        let word_stimulus: Vec<u64> =
-            stimulus.iter().map(|&bit| if bit { u64::MAX } else { 0 }).collect();
+        let word_stimulus: Vec<u64> = stimulus
+            .iter()
+            .map(|&bit| if bit { u64::MAX } else { 0 })
+            .collect();
         parallel.apply(&word_stimulus);
         timing.apply(&stimulus);
 
@@ -113,8 +120,11 @@ fn wallace_and_dadda_give_identical_functions_different_structures() {
 
 #[test]
 fn accurate_reference_is_exact_for_every_scheme_at_4_bits() {
-    for scheme in [ReductionScheme::RippleRows, ReductionScheme::Wallace, ReductionScheme::Dadda]
-    {
+    for scheme in [
+        ReductionScheme::RippleRows,
+        ReductionScheme::Wallace,
+        ReductionScheme::Dadda,
+    ] {
         let netlist = accurate_multiplier(4, scheme).unwrap();
         check_exhaustive(&netlist, 4, |a, b| {
             sdlc::wideint::U256::from_u128(a).wrapping_mul(&sdlc::wideint::U256::from_u128(b))
@@ -151,7 +161,10 @@ fn verilog_export_covers_optimized_designs() {
     // internal net, for every design family we generate.
     for netlist in [
         accurate_multiplier(8, ReductionScheme::Wallace).unwrap(),
-        sdlc_multiplier(&SdlcMultiplier::new(8, 3).unwrap(), ReductionScheme::RippleRows),
+        sdlc_multiplier(
+            &SdlcMultiplier::new(8, 3).unwrap(),
+            ReductionScheme::RippleRows,
+        ),
         etm_multiplier(8, ReductionScheme::RippleRows).unwrap(),
         kulkarni_multiplier(8, ReductionScheme::RippleRows).unwrap(),
     ] {

@@ -49,8 +49,7 @@ fn verilog_command_writes_a_module() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("out.v");
     let path_str = path.to_str().unwrap();
-    let (_, _, ok) =
-        run(&["verilog", "--width", "4", "--depth", "2", "--out", path_str]);
+    let (_, _, ok) = run(&["verilog", "--width", "4", "--depth", "2", "--out", path_str]);
     assert!(ok);
     let text = std::fs::read_to_string(&path).unwrap();
     assert!(text.contains("module sdlc4_d2_ripple"));
@@ -89,7 +88,12 @@ fn synth_accepts_a_custom_library_file() {
     // Export the built-in 65nm corner through the text format.
     std::fs::write(&path, sdlc::techlib::Library::generic_65nm().to_text()).unwrap();
     let (stdout, _, ok) = run(&[
-        "synth", "--width", "8", "--depth", "2", "--lib",
+        "synth",
+        "--width",
+        "8",
+        "--depth",
+        "2",
+        "--lib",
         path.to_str().unwrap(),
     ]);
     assert!(ok, "{stdout}");

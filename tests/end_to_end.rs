@@ -13,7 +13,10 @@ use sdlc::techlib::Library;
 #[test]
 fn synthesis_savings_positive_on_all_metrics() {
     let lib = Library::generic_90nm();
-    let options = AnalysisOptions { activity_vectors: 192, ..Default::default() };
+    let options = AnalysisOptions {
+        activity_vectors: 192,
+        ..Default::default()
+    };
     for width in [8u32, 16] {
         let exact = analyze(
             accurate_multiplier(width, ReductionScheme::RippleRows).unwrap(),
@@ -21,8 +24,11 @@ fn synthesis_savings_positive_on_all_metrics() {
             &options,
         );
         let model = SdlcMultiplier::new(width, 2).unwrap();
-        let approx =
-            analyze(sdlc_multiplier(&model, ReductionScheme::RippleRows), &lib, &options);
+        let approx = analyze(
+            sdlc_multiplier(&model, ReductionScheme::RippleRows),
+            &lib,
+            &options,
+        );
         let savings = approx.reduction_vs(&exact);
         assert!(savings.dynamic_power > 0.25, "{width}-bit dyn {savings}");
         assert!(savings.leakage_power > 0.15, "{width}-bit leak {savings}");
@@ -39,7 +45,10 @@ fn synthesis_savings_positive_on_all_metrics() {
 #[test]
 fn deeper_clusters_save_more_hardware() {
     let lib = Library::generic_90nm();
-    let options = AnalysisOptions { activity_vectors: 192, ..Default::default() };
+    let options = AnalysisOptions {
+        activity_vectors: 192,
+        ..Default::default()
+    };
     let exact = analyze(
         accurate_multiplier(8, ReductionScheme::RippleRows).unwrap(),
         &lib,
@@ -48,8 +57,11 @@ fn deeper_clusters_save_more_hardware() {
     let mut last_energy = 0.0;
     for depth in [2u32, 3, 4] {
         let model = SdlcMultiplier::new(8, depth).unwrap();
-        let report =
-            analyze(sdlc_multiplier(&model, ReductionScheme::RippleRows), &lib, &options);
+        let report = analyze(
+            sdlc_multiplier(&model, ReductionScheme::RippleRows),
+            &lib,
+            &options,
+        );
         let savings = report.reduction_vs(&exact);
         assert!(
             savings.energy > last_energy,
@@ -74,9 +86,18 @@ fn blur_quality_orders_by_depth() {
         let blurred = convolve_3x3(&image, &kernel, &model);
         quality.push(psnr(&reference, &blurred));
     }
-    assert!(quality[0] > quality[1] && quality[1] > quality[2], "{quality:?}");
-    assert!(quality[0] > 30.0, "depth 2 keeps reviewable quality: {quality:?}");
-    assert!(quality[2] > 15.0, "even depth 4 is not garbage: {quality:?}");
+    assert!(
+        quality[0] > quality[1] && quality[1] > quality[2],
+        "{quality:?}"
+    );
+    assert!(
+        quality[0] > 30.0,
+        "depth 2 keeps reviewable quality: {quality:?}"
+    );
+    assert!(
+        quality[2] > 15.0,
+        "even depth 4 is not garbage: {quality:?}"
+    );
 }
 
 /// The error/hardware trade-off is coherent end to end: each extra depth
@@ -84,7 +105,10 @@ fn blur_quality_orders_by_depth() {
 #[test]
 fn accuracy_and_savings_move_in_opposite_directions() {
     let lib = Library::generic_90nm();
-    let options = AnalysisOptions { activity_vectors: 192, ..Default::default() };
+    let options = AnalysisOptions {
+        activity_vectors: 192,
+        ..Default::default()
+    };
     let exact = analyze(
         accurate_multiplier(8, ReductionScheme::RippleRows).unwrap(),
         &lib,
@@ -94,8 +118,11 @@ fn accuracy_and_savings_move_in_opposite_directions() {
     for depth in [2u32, 3, 4] {
         let model = SdlcMultiplier::new(8, depth).unwrap();
         let metrics = exhaustive(&model).unwrap();
-        let report =
-            analyze(sdlc_multiplier(&model, ReductionScheme::RippleRows), &lib, &options);
+        let report = analyze(
+            sdlc_multiplier(&model, ReductionScheme::RippleRows),
+            &lib,
+            &options,
+        );
         rows.push((metrics.mred, report.reduction_vs(&exact).energy));
     }
     for pair in rows.windows(2) {
@@ -109,7 +136,10 @@ fn accuracy_and_savings_move_in_opposite_directions() {
 /// same ordering and similar magnitudes.
 #[test]
 fn savings_are_library_robust() {
-    let options = AnalysisOptions { activity_vectors: 192, ..Default::default() };
+    let options = AnalysisOptions {
+        activity_vectors: 192,
+        ..Default::default()
+    };
     let mut by_library = Vec::new();
     for lib in [Library::generic_90nm(), Library::generic_65nm()] {
         let exact = analyze(
@@ -118,8 +148,11 @@ fn savings_are_library_robust() {
             &options,
         );
         let model = SdlcMultiplier::new(8, 2).unwrap();
-        let approx =
-            analyze(sdlc_multiplier(&model, ReductionScheme::RippleRows), &lib, &options);
+        let approx = analyze(
+            sdlc_multiplier(&model, ReductionScheme::RippleRows),
+            &lib,
+            &options,
+        );
         by_library.push(approx.reduction_vs(&exact));
     }
     let (n90, n65) = (by_library[0], by_library[1]);

@@ -1,0 +1,251 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API this workspace's bench
+//! harnesses use: `criterion_group!` / `criterion_main!`, [`Criterion`],
+//! benchmark groups with `bench_function` / `bench_with_input`,
+//! [`BenchmarkId`], [`Throughput`] and [`black_box`]. Each benchmark is
+//! run as a single time-boxed measurement loop and reported as ns/iter —
+//! no warm-up statistics, outlier analysis or HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Units-of-work declaration; only recorded for display parity.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Passed to the measurement closure; drives the timing loop.
+pub struct Bencher {
+    measured: Option<(u64, Duration)>,
+    budget: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate a batch size so the timed section is long enough to
+        // resolve, then measure whole batches until the budget elapses.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            if t.elapsed() > Duration::from_micros(100) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 10;
+        }
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < self.budget {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+        }
+        self.measured = Some((iters, start.elapsed()));
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    #[must_use]
+    pub fn measurement_time(mut self, time: Duration) -> Self {
+        self.measurement_time = time;
+        self
+    }
+
+    #[must_use]
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let budget = self.measurement_time;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            budget,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let group_budget = self.measurement_time;
+        run_one(&mut { f }, name, group_budget, None);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    // Held (not read) so two groups cannot coexist, like real criterion.
+    #[allow(dead_code)]
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    // Scoped to this group, like real criterion: a group-level
+    // measurement_time override must not leak into later groups.
+    budget: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.budget = time;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        run_one(&mut f, &label, self.budget, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Accepts both `&str` names and [`BenchmarkId`]s, like criterion.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    f: &mut F,
+    label: &str,
+    budget: Duration,
+    throughput: Option<Throughput>,
+) {
+    let mut bencher = Bencher {
+        measured: None,
+        budget,
+    };
+    f(&mut bencher);
+    match bencher.measured {
+        Some((iters, elapsed)) if iters > 0 => {
+            let ns = elapsed.as_nanos() as f64 / iters as f64;
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  ({:.1} Melem/s)", n as f64 * 1e3 / ns)
+                }
+                Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n)) => {
+                    format!("  ({:.1} MB/s)", n as f64 * 1e3 / ns)
+                }
+                None => String::new(),
+            };
+            println!("{label:<40} {ns:>12.1} ns/iter{rate}");
+        }
+        _ => println!("{label:<40}        (no measurement)"),
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` / `cargo test` pass harness flags; a bare
+            // `--test` invocation means "smoke-check, don't measure".
+            let args: Vec<String> = std::env::args().collect();
+            if args.iter().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
