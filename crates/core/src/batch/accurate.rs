@@ -1,0 +1,101 @@
+//! Bit-sliced exact multiplier: the golden reference of the batch engine.
+
+use crate::batch::{
+    add_planes, check_batch_width, check_lanes, check_planes, BatchMultiplier, Batchable, LANES,
+};
+use crate::multiplier::{AccurateMultiplier, Multiplier};
+
+/// Shared bit-sliced schoolbook accumulation: for every set `b` plane,
+/// AND-gate the `a` planes into a partial-product row and ripple-add it at
+/// its weight. Used by [`BatchAccurate`] and the exact sub-multiplies of
+/// the ETM baseline.
+pub(crate) fn accurate_planes(width: usize, a: &[u64], b: &[u64], product: &mut [u64]) {
+    product.fill(0);
+    let mut row = [0u64; LANES];
+    for (k, &bk) in b.iter().enumerate().take(width) {
+        if bk == 0 {
+            continue;
+        }
+        for j in 0..width {
+            row[j] = a[j] & bk;
+        }
+        add_planes(product, &row[..width], k);
+    }
+}
+
+/// The bit-sliced twin of [`AccurateMultiplier`]: 64 exact products per
+/// pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchAccurate {
+    width: u32,
+}
+
+impl BatchAccurate {
+    /// Builds the engine from the scalar reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is wider than
+    /// [`BATCH_MAX_WIDTH`](crate::batch::BATCH_MAX_WIDTH) bits.
+    #[must_use]
+    pub fn new(model: &AccurateMultiplier) -> Self {
+        Self {
+            width: check_batch_width(model.width()),
+        }
+    }
+}
+
+impl BatchMultiplier for BatchAccurate {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn multiply_planes(&self, a: &[u64], b: &[u64], product: &mut [u64]) {
+        check_planes(self.width, a, b, product);
+        accurate_planes(self.width as usize, a, b, product);
+    }
+
+    fn multiply_lanes(&self, a: &[u64; LANES], b: &[u64; LANES]) -> [u128; LANES] {
+        check_lanes(self.width, a, b);
+        core::array::from_fn(|i| u128::from(a[i]) * u128::from(b[i]))
+    }
+}
+
+impl Batchable for AccurateMultiplier {
+    type Batch = BatchAccurate;
+
+    fn batch_model(&self) -> BatchAccurate {
+        BatchAccurate::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdlc_wideint::bitplane::transposed64;
+
+    #[test]
+    fn planes_match_native_products() {
+        let scalar = AccurateMultiplier::new(16).unwrap();
+        let batch = scalar.batch_model();
+        let mut rng = sdlc_wideint::SplitMix64::new(1);
+        let a: [u64; LANES] = core::array::from_fn(|_| rng.next_bits(16));
+        let b: [u64; LANES] = core::array::from_fn(|_| rng.next_bits(16));
+        let (ap, bp) = (transposed64(&a), transposed64(&b));
+        let mut product = [0u64; LANES];
+        batch.multiply_planes(&ap[..16], &bp[..16], &mut product[..32]);
+        let lanes = transposed64(&product);
+        for i in 0..LANES {
+            assert_eq!(u128::from(lanes[i]), scalar.multiply_u64(a[i], b[i]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly 2N planes")]
+    fn rejects_short_product_buffer() {
+        let batch = AccurateMultiplier::new(8).unwrap().batch_model();
+        let planes = [0u64; 8];
+        let mut product = [0u64; 8];
+        batch.multiply_planes(&planes, &planes, &mut product);
+    }
+}

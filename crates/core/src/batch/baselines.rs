@@ -1,0 +1,272 @@
+//! Bit-sliced twins of the comparison baselines: truncation, the
+//! Kulkarni 2×2 composition and the error-tolerant multiplier.
+
+use crate::baselines::{EtmMultiplier, KulkarniMultiplier, TruncatedMultiplier};
+use crate::batch::accurate::accurate_planes;
+use crate::batch::{
+    add_planes, check_batch_width, check_planes, BatchMultiplier, Batchable, LANES,
+};
+use crate::multiplier::Multiplier;
+
+/// Bit-sliced [`TruncatedMultiplier`]: partial-product rows simply start
+/// at the first kept column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchTruncated {
+    width: u32,
+    dropped_columns: u32,
+}
+
+impl BatchTruncated {
+    /// Builds the engine from the scalar model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is wider than
+    /// [`BATCH_MAX_WIDTH`](crate::batch::BATCH_MAX_WIDTH) bits.
+    #[must_use]
+    pub fn new(model: &TruncatedMultiplier) -> Self {
+        Self {
+            width: check_batch_width(model.width()),
+            dropped_columns: model.dropped_columns(),
+        }
+    }
+}
+
+impl BatchMultiplier for BatchTruncated {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn multiply_planes(&self, a: &[u64], b: &[u64], product: &mut [u64]) {
+        check_planes(self.width, a, b, product);
+        product.fill(0);
+        let width = self.width as usize;
+        let mut row = [0u64; LANES];
+        for (k, &bk) in b.iter().enumerate().take(width) {
+            if bk == 0 {
+                continue;
+            }
+            let min_j = (self.dropped_columns as usize).saturating_sub(k);
+            if min_j >= width {
+                continue;
+            }
+            let kept = width - min_j;
+            for j in 0..kept {
+                row[j] = a[min_j + j] & bk;
+            }
+            add_planes(product, &row[..kept], min_j + k);
+        }
+    }
+}
+
+impl Batchable for TruncatedMultiplier {
+    type Batch = BatchTruncated;
+
+    fn batch_model(&self) -> BatchTruncated {
+        BatchTruncated::new(self)
+    }
+}
+
+/// Bit-sliced [`KulkarniMultiplier`]: the inaccurate 2×2 block is three
+/// word-wide gates, and the recursive shift-add composition is plane
+/// copies plus two ripple adds per level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchKulkarni {
+    width: u32,
+}
+
+impl BatchKulkarni {
+    /// Builds the engine from the scalar model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is wider than
+    /// [`BATCH_MAX_WIDTH`](crate::batch::BATCH_MAX_WIDTH) bits.
+    #[must_use]
+    pub fn new(model: &KulkarniMultiplier) -> Self {
+        Self {
+            width: check_batch_width(model.width()),
+        }
+    }
+
+    /// `P = HH·2^N + (HL + LH)·2^{N/2} + LL` over planes;
+    /// `product` holds `2 × width` planes.
+    fn recurse(width: usize, a: &[u64], b: &[u64], product: &mut [u64]) {
+        if width == 2 {
+            product[0] = a[0] & b[0];
+            product[1] = (a[1] & b[0]) | (a[0] & b[1]);
+            product[2] = a[1] & b[1];
+            product[3] = 0;
+            return;
+        }
+        let half = width / 2;
+        let mut ll = [0u64; LANES];
+        let mut lh = [0u64; LANES];
+        let mut hl = [0u64; LANES];
+        let mut hh = [0u64; LANES];
+        Self::recurse(half, &a[..half], &b[..half], &mut ll[..width]);
+        Self::recurse(half, &a[..half], &b[half..width], &mut lh[..width]);
+        Self::recurse(half, &a[half..width], &b[..half], &mut hl[..width]);
+        Self::recurse(half, &a[half..width], &b[half..width], &mut hh[..width]);
+        product[..width].copy_from_slice(&ll[..width]);
+        product[width..2 * width].copy_from_slice(&hh[..width]);
+        add_planes(product, &hl[..width], half);
+        add_planes(product, &lh[..width], half);
+    }
+}
+
+impl BatchMultiplier for BatchKulkarni {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn multiply_planes(&self, a: &[u64], b: &[u64], product: &mut [u64]) {
+        check_planes(self.width, a, b, product);
+        Self::recurse(self.width as usize, a, b, product);
+    }
+}
+
+impl Batchable for KulkarniMultiplier {
+    type Batch = BatchKulkarni;
+
+    fn batch_model(&self) -> BatchKulkarni {
+        BatchKulkarni::new(self)
+    }
+}
+
+/// Bit-sliced [`EtmMultiplier`]: both the exact low path and the
+/// approximate high + collision-chain path are evaluated for all lanes,
+/// then multiplexed per lane by the word-wide zero detector — the
+/// bit-sliced version of the paper's steering logic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchEtm {
+    width: u32,
+}
+
+impl BatchEtm {
+    /// Builds the engine from the scalar model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is wider than
+    /// [`BATCH_MAX_WIDTH`](crate::batch::BATCH_MAX_WIDTH) bits.
+    #[must_use]
+    pub fn new(model: &EtmMultiplier) -> Self {
+        Self {
+            width: check_batch_width(model.width()),
+        }
+    }
+}
+
+impl BatchMultiplier for BatchEtm {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn multiply_planes(&self, a: &[u64], b: &[u64], product: &mut [u64]) {
+        check_planes(self.width, a, b, product);
+        let width = self.width as usize;
+        let half = width / 2;
+        // Lanes whose high halves are both zero take the exact low path.
+        let mut high_bits = 0u64;
+        for j in half..width {
+            high_bits |= a[j] | b[j];
+        }
+        let exact_sel = !high_bits;
+        let mut exact_low = [0u64; LANES];
+        accurate_planes(half, &a[..half], &b[..half], &mut exact_low[..width]);
+        let mut high = [0u64; LANES];
+        accurate_planes(half, &a[half..width], &b[half..width], &mut high[..width]);
+        // The non-multiplication chain, scanned from the low halves' MSB
+        // down: below the first collision every output bit is 1.
+        let mut chain = [0u64; LANES];
+        let mut collided = 0u64;
+        for i in (0..half).rev() {
+            chain[i] = collided | a[i] | b[i];
+            collided |= a[i] & b[i];
+        }
+        for (p, plane) in product.iter_mut().enumerate() {
+            let approx = if p < half {
+                chain[p]
+            } else if p >= width {
+                high[p - width]
+            } else {
+                0
+            };
+            let exact = if p < width { exact_low[p] } else { 0 };
+            *plane = (exact & exact_sel) | (approx & !exact_sel);
+        }
+    }
+}
+
+impl Batchable for EtmMultiplier {
+    type Batch = BatchEtm;
+
+    fn batch_model(&self) -> BatchEtm {
+        BatchEtm::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agree<M, B>(model: &M, batch: &B, seed: u64)
+    where
+        M: Multiplier,
+        B: BatchMultiplier,
+    {
+        let mut rng = sdlc_wideint::SplitMix64::new(seed);
+        let a: [u64; LANES] = core::array::from_fn(|_| rng.next_bits(model.width()));
+        let b: [u64; LANES] = core::array::from_fn(|_| rng.next_bits(model.width()));
+        let products = batch.multiply_lanes(&a, &b);
+        for i in 0..LANES {
+            assert_eq!(
+                products[i],
+                model.multiply_u64(a[i], b[i]),
+                "{} lane {i}: a={} b={}",
+                model.name(),
+                a[i],
+                b[i]
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_agrees_across_cutoffs() {
+        for dropped in [0u32, 1, 4, 8, 13] {
+            let model = TruncatedMultiplier::new(8, dropped).unwrap();
+            agree(&model, &model.batch_model(), u64::from(dropped));
+        }
+    }
+
+    #[test]
+    fn kulkarni_agrees_including_designed_error() {
+        for width in [2u32, 4, 8, 16, 32] {
+            let model = KulkarniMultiplier::new(width).unwrap();
+            agree(&model, &model.batch_model(), u64::from(width));
+        }
+        // The designed 3×3 → 7 error, in every lane.
+        let model = KulkarniMultiplier::new(2).unwrap();
+        let batch = model.batch_model();
+        let products = batch.multiply_lanes(&[3; LANES], &[3; LANES]);
+        assert_eq!(products, [7u128; LANES]);
+    }
+
+    #[test]
+    fn etm_agrees_and_steers_per_lane() {
+        for width in [4u32, 8, 12, 16] {
+            let model = EtmMultiplier::new(width).unwrap();
+            agree(&model, &model.batch_model(), u64::from(width));
+        }
+        // One batch mixing exact-path and approximate-path lanes.
+        let model = EtmMultiplier::new(8).unwrap();
+        let batch = model.batch_model();
+        let a: [u64; LANES] = core::array::from_fn(|i| if i % 2 == 0 { 7 } else { 0x77 });
+        let b: [u64; LANES] = core::array::from_fn(|i| if i % 3 == 0 { 9 } else { 0x99 });
+        let products = batch.multiply_lanes(&a, &b);
+        for i in 0..LANES {
+            assert_eq!(products[i], model.multiply_u64(a[i], b[i]), "lane {i}");
+        }
+    }
+}

@@ -6,13 +6,63 @@
 //! a seeded uniform sample for the widths where exhaustion is unreasonable
 //! on a laptop. Both drivers are deterministic: thread count never changes
 //! the result, and sampling depends only on the seed.
+//!
+//! Every driver runs on one of two [`Engine`]s: the scalar path calls
+//! [`Multiplier::multiply_u64`] once per pair, while the bit-sliced path
+//! evaluates 64 pairs per pass through the transposed bit-plane models of
+//! [`crate::batch`]. The engines are bit-exact twins — same pair order,
+//! same accumulation order, bit-identical [`ErrorMetrics`] — so the
+//! bit-sliced engine is a pure speedup (~10–20× per core) that also raises
+//! the exhaustive ceiling to [`BITSLICED_EXHAUSTIVE_WIDTH_LIMIT`] bits.
 
 use core::fmt;
 
-use sdlc_wideint::SplitMix64;
+use sdlc_wideint::{bitplane, SplitMix64};
 
+use crate::batch::{BatchMultiplier, Batchable, BATCH_MAX_WIDTH, LANES};
 use crate::error::metrics::{ErrorAccumulator, ErrorMetrics};
 use crate::multiplier::Multiplier;
+
+/// Which evaluation engine a driver runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// One [`Multiplier::multiply_u64`] call per operand pair.
+    #[default]
+    Scalar,
+    /// 64 pairs per pass through the bit-sliced [`crate::batch`] models.
+    BitSliced,
+}
+
+impl Engine {
+    /// Short identifier used in reports and CLI flags.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Engine::Scalar => "scalar",
+            Engine::BitSliced => "bitsliced",
+        }
+    }
+}
+
+impl core::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "scalar" => Ok(Engine::Scalar),
+            "bitsliced" => Ok(Engine::BitSliced),
+            other => Err(format!(
+                "unknown engine {other:?}; expected \"scalar\" or \"bitsliced\""
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
 
 /// Errors reported by the evaluation drivers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +77,14 @@ pub enum EvalError {
     },
     /// A sample count of zero was requested.
     NoSamples,
+    /// The bit-sliced engine was asked to evaluate a model wider than its
+    /// 64-lane plane stack supports.
+    UnsupportedWidth {
+        /// Requested width.
+        width: u32,
+        /// Largest width the bit-sliced engine accepts.
+        limit: u32,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -39,17 +97,79 @@ impl fmt::Display for EvalError {
                 2 * width
             ),
             EvalError::NoSamples => write!(f, "sample count must be positive"),
+            EvalError::UnsupportedWidth { width, limit } => write!(
+                f,
+                "the bit-sliced engine supports models up to {limit}-bit, got {width}-bit"
+            ),
         }
     }
 }
 
 impl std::error::Error for EvalError {}
 
-/// Largest width accepted by [`exhaustive`] (2^32 cases, ≈ minutes of CPU).
+/// Largest width accepted by the scalar [`exhaustive`] (2^32 cases,
+/// ≈ minutes of CPU).
 pub const EXHAUSTIVE_WIDTH_LIMIT: u32 = 16;
+
+/// Largest width accepted by [`exhaustive_bitsliced`]: the 64-lane engine
+/// turns the 16-bit full sweep from minutes into seconds, which raises the
+/// practical ceiling to 20 bits (2^40 cases, ≈ minutes again).
+pub const BITSLICED_EXHAUSTIVE_WIDTH_LIMIT: u32 = 20;
 
 fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Splits `[0, count)` into at most `threads` contiguous chunks and runs
+/// `worker(lo, hi)` on scoped threads, returning the partial results in
+/// chunk order. Every exhaustive driver (scalar and bit-sliced, metrics
+/// and histogram) partitions and merges through this one function — the
+/// chunk formula and merge order are part of the engines' bit-identity
+/// contract, so they must never diverge between paths.
+pub(crate) fn parallel_chunks<T, F>(count: u64, threads: usize, worker: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64, u64) -> T + Sync,
+{
+    let threads = threads.min(count as usize).max(1);
+    let chunk = count.div_ceil(threads as u64);
+    let worker = &worker;
+    let mut partials = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t as u64 * chunk;
+                let hi = (lo + chunk).min(count);
+                scope.spawn(move || worker(lo, hi))
+            })
+            .collect();
+        for handle in handles {
+            partials.push(handle.join().expect("worker panicked"));
+        }
+    });
+    partials
+}
+
+/// The samplers' equivalent: splits the fixed shard list into at most
+/// `threads` contiguous runs and hands each run to `worker`.
+pub(crate) fn parallel_shard_chunks<T, F>(shards: &[u64], threads: usize, worker: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&[u64]) -> T + Sync,
+{
+    let chunk = shards.len().div_ceil(threads).max(1);
+    let worker = &worker;
+    let mut partials = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .chunks(chunk)
+            .map(|run| scope.spawn(move || worker(run)))
+            .collect();
+        for handle in handles {
+            partials.push(handle.join().expect("worker panicked"));
+        }
+    });
+    partials
 }
 
 /// Exhaustively evaluates every operand pair of an `N ≤ 16` bit multiplier
@@ -90,36 +210,157 @@ where
         });
     }
     let count: u64 = 1u64 << width;
-    let threads = threads.min(count as usize);
-    let chunk = count.div_ceil(threads as u64);
-    let mut partials: Vec<ErrorAccumulator> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let lo = t as u64 * chunk;
-                let hi = (lo + chunk).min(count);
-                scope.spawn(move || {
-                    let mut acc = ErrorAccumulator::new();
-                    for a in lo..hi {
-                        for b in 0..count {
-                            let exact = u128::from(a) * u128::from(b);
-                            let approx = multiplier.multiply_u64(a, b);
-                            acc.record_u64(exact, approx, (a, b));
-                        }
-                    }
-                    acc
-                })
-            })
-            .collect();
-        for handle in handles {
-            partials.push(handle.join().expect("worker panicked"));
+    let partials = parallel_chunks(count, threads, |lo, hi| {
+        let mut acc = ErrorAccumulator::new();
+        for a in lo..hi {
+            for b in 0..count {
+                let exact = u128::from(a) * u128::from(b);
+                let approx = multiplier.multiply_u64(a, b);
+                acc.record_u64(exact, approx, (a, b));
+            }
         }
+        acc
     });
     let mut total = ErrorAccumulator::new();
     for p in &partials {
         total.merge(p);
     }
     Ok(total.finish(multiplier.max_product()))
+}
+
+/// [`exhaustive`] dispatched on an [`Engine`]; both engines return
+/// bit-identical [`ErrorMetrics`] wherever both accept the width.
+///
+/// # Errors
+///
+/// Returns [`EvalError::WidthTooLarge`] above the selected engine's width
+/// limit ([`EXHAUSTIVE_WIDTH_LIMIT`] or
+/// [`BITSLICED_EXHAUSTIVE_WIDTH_LIMIT`]).
+pub fn exhaustive_with_engine<M>(multiplier: &M, engine: Engine) -> Result<ErrorMetrics, EvalError>
+where
+    M: Batchable + Sync,
+{
+    match engine {
+        Engine::Scalar => exhaustive(multiplier),
+        Engine::BitSliced => exhaustive_bitsliced(multiplier),
+    }
+}
+
+/// Exhaustively evaluates every operand pair through the bit-sliced
+/// 64-lane engine — the same sweep order, thread splitting and
+/// accumulation order as [`exhaustive`], so the resulting
+/// [`ErrorMetrics`] are bit-identical, at a fraction of the cost.
+///
+/// # Errors
+///
+/// Returns [`EvalError::WidthTooLarge`] above
+/// [`BITSLICED_EXHAUSTIVE_WIDTH_LIMIT`] bits.
+pub fn exhaustive_bitsliced<M>(multiplier: &M) -> Result<ErrorMetrics, EvalError>
+where
+    M: Batchable + Sync,
+{
+    exhaustive_bitsliced_with_threads(multiplier, default_threads())
+}
+
+/// [`exhaustive_bitsliced`] with an explicit worker-thread count (as with
+/// the scalar driver, the count only partitions the sweep).
+///
+/// # Errors
+///
+/// Returns [`EvalError::WidthTooLarge`] above
+/// [`BITSLICED_EXHAUSTIVE_WIDTH_LIMIT`] bits.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn exhaustive_bitsliced_with_threads<M>(
+    multiplier: &M,
+    threads: usize,
+) -> Result<ErrorMetrics, EvalError>
+where
+    M: Batchable + Sync,
+{
+    assert!(threads > 0, "thread count must be positive");
+    let width = multiplier.width();
+    if width > BITSLICED_EXHAUSTIVE_WIDTH_LIMIT {
+        return Err(EvalError::WidthTooLarge {
+            width,
+            limit: BITSLICED_EXHAUSTIVE_WIDTH_LIMIT,
+        });
+    }
+    let count: u64 = 1u64 << width;
+    let partials = parallel_chunks(count, threads, |lo, hi| {
+        let batch = multiplier.batch_model();
+        let mut acc = ErrorAccumulator::new();
+        sweep_blocks(&batch, lo, hi, count, |a, b0, valid, approx| {
+            record_block(&mut acc, a, b0, valid, approx);
+        });
+        acc
+    });
+    let mut total = ErrorAccumulator::new();
+    for p in &partials {
+        total.merge(p);
+    }
+    Ok(total.finish(multiplier.max_product()))
+}
+
+/// Walks the `[lo, hi) × [0, count)` operand rectangle in 64-lane blocks
+/// through a bit-sliced model, handing each block's un-transposed products
+/// to `visit(a, b0, valid, products)`. The exhaustive drivers (metrics and
+/// histogram) share this loop so their pair order matches the scalar
+/// engines exactly.
+pub(crate) fn sweep_blocks<B: BatchMultiplier>(
+    batch: &B,
+    lo: u64,
+    hi: u64,
+    count: u64,
+    mut visit: impl FnMut(u64, u64, usize, &[u64; LANES]),
+) {
+    let width = batch.width();
+    let planes = width as usize;
+    let mut approx = [0u64; LANES];
+    if count >= LANES as u64 {
+        for a in lo..hi {
+            batch.sweep_operand_row(a, count, &mut |b0, product| {
+                crate::batch::extract_product_lanes(product, &mut approx);
+                visit(a, b0, LANES, &approx);
+            });
+        }
+    } else {
+        // Fewer pairs than lanes (widths 2 and 4): transpose one
+        // zero-padded block per `a` and ignore the idle lanes.
+        let valid = count as usize;
+        let lanes: [u64; LANES] = core::array::from_fn(|i| if i < valid { i as u64 } else { 0 });
+        let b_planes = bitplane::transposed64(&lanes);
+        let mut product = [0u64; LANES];
+        for a in lo..hi {
+            batch.multiply_planes_bcast(a, &b_planes[..planes], &mut product[..2 * planes]);
+            crate::batch::extract_product_lanes(&product[..2 * planes], &mut approx);
+            visit(a, 0, valid, &approx);
+        }
+    }
+}
+
+/// Feeds one exhaustive block into the accumulator: exact lanes in bulk,
+/// error lanes individually in ascending-lane (scalar) order, so float
+/// accumulation matches the scalar engine bit for bit.
+fn record_block(acc: &mut ErrorAccumulator, a: u64, b0: u64, valid: usize, approx: &[u64; LANES]) {
+    let mut err_mask = 0u64;
+    for (i, &p) in approx.iter().enumerate().take(valid) {
+        let exact = a * (b0 + i as u64);
+        err_mask |= u64::from(p != exact) << i;
+    }
+    acc.record_exact_many(valid as u64 - u64::from(err_mask.count_ones()));
+    while err_mask != 0 {
+        let i = err_mask.trailing_zeros() as u64;
+        err_mask &= err_mask - 1;
+        let b = b0 + i;
+        acc.record_u64(
+            u128::from(a) * u128::from(b),
+            u128::from(approx[i as usize]),
+            (a, b),
+        );
+    }
 }
 
 /// Evaluates `samples` uniformly random operand pairs (seeded, parallel,
@@ -167,50 +408,185 @@ where
     const SHARDS: u64 = 256;
     let per_shard = samples.div_ceil(SHARDS);
     let shard_list: Vec<u64> = (0..SHARDS).collect();
-    let chunk = shard_list.len().div_ceil(threads);
-    let mut partials: Vec<ErrorAccumulator> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = shard_list
-            .chunks(chunk.max(1))
-            .map(|shards| {
-                scope.spawn(move || {
-                    let mut acc = ErrorAccumulator::new();
-                    for &shard in shards {
-                        let mut rng = SplitMix64::new(seed ^ (shard.wrapping_mul(0x9e37_79b9)));
-                        let begin = shard * per_shard;
-                        let end = (begin + per_shard).min(samples);
-                        if width <= 32 {
-                            for _ in begin..end {
-                                let a = rng.next_bits(width);
-                                let b = rng.next_bits(width);
-                                let exact = u128::from(a) * u128::from(b);
-                                let approx = multiplier.multiply_u64(a, b);
-                                acc.record_u64(exact, approx, (a, b));
-                            }
-                        } else {
-                            for _ in begin..end {
-                                let a = draw_u128(&mut rng, width);
-                                let b = draw_u128(&mut rng, width);
-                                let exact = sdlc_wideint::U256::from_u128(a)
-                                    .wrapping_mul(&sdlc_wideint::U256::from_u128(b));
-                                let approx = multiplier.multiply(a, b);
-                                acc.record(&exact, &approx, (a, b));
-                            }
-                        }
-                    }
-                    acc
-                })
-            })
-            .collect();
-        for handle in handles {
-            partials.push(handle.join().expect("worker panicked"));
+    let partials = parallel_shard_chunks(&shard_list, threads, |shards| {
+        let mut acc = ErrorAccumulator::new();
+        for &shard in shards {
+            let mut rng = SplitMix64::new(seed ^ (shard.wrapping_mul(0x9e37_79b9)));
+            let begin = shard * per_shard;
+            let end = (begin + per_shard).min(samples);
+            if width <= 32 {
+                for _ in begin..end {
+                    let a = rng.next_bits(width);
+                    let b = rng.next_bits(width);
+                    let exact = u128::from(a) * u128::from(b);
+                    let approx = multiplier.multiply_u64(a, b);
+                    acc.record_u64(exact, approx, (a, b));
+                }
+            } else {
+                for _ in begin..end {
+                    let a = draw_u128(&mut rng, width);
+                    let b = draw_u128(&mut rng, width);
+                    let exact = sdlc_wideint::U256::from_u128(a)
+                        .wrapping_mul(&sdlc_wideint::U256::from_u128(b));
+                    let approx = multiplier.multiply(a, b);
+                    acc.record(&exact, &approx, (a, b));
+                }
+            }
         }
+        acc
     });
     let mut total = ErrorAccumulator::new();
     for p in &partials {
         total.merge(p);
     }
     Ok(total.finish(multiplier.max_product()))
+}
+
+/// [`sampled`] dispatched on an [`Engine`]; for widths both engines
+/// accept, the draws, pair order and accumulation order are identical, so
+/// the metrics are bit-identical.
+///
+/// # Errors
+///
+/// Returns [`EvalError::NoSamples`] when `samples == 0`, or
+/// [`EvalError::UnsupportedWidth`] if the bit-sliced engine was selected
+/// for a model wider than 32 bits.
+pub fn sampled_with_engine<M>(
+    multiplier: &M,
+    samples: u64,
+    seed: u64,
+    engine: Engine,
+) -> Result<ErrorMetrics, EvalError>
+where
+    M: Batchable + Sync,
+{
+    match engine {
+        Engine::Scalar => sampled(multiplier, samples, seed),
+        Engine::BitSliced => sampled_bitsliced(multiplier, samples, seed),
+    }
+}
+
+/// [`sampled`] through the bit-sliced 64-lane engine: same SplitMix64
+/// shard streams, same draw order, bit-identical [`ErrorMetrics`].
+///
+/// # Errors
+///
+/// Returns [`EvalError::NoSamples`] when `samples == 0`, or
+/// [`EvalError::UnsupportedWidth`] for models wider than 32 bits.
+pub fn sampled_bitsliced<M>(
+    multiplier: &M,
+    samples: u64,
+    seed: u64,
+) -> Result<ErrorMetrics, EvalError>
+where
+    M: Batchable + Sync,
+{
+    sampled_bitsliced_with_threads(multiplier, samples, seed, default_threads())
+}
+
+/// [`sampled_bitsliced`] with an explicit thread count (partitioning
+/// only; the fixed 256-shard layout keeps results thread-count
+/// independent, exactly like the scalar driver).
+///
+/// # Errors
+///
+/// Returns [`EvalError::NoSamples`] when `samples == 0`, or
+/// [`EvalError::UnsupportedWidth`] for models wider than 32 bits.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn sampled_bitsliced_with_threads<M>(
+    multiplier: &M,
+    samples: u64,
+    seed: u64,
+    threads: usize,
+) -> Result<ErrorMetrics, EvalError>
+where
+    M: Batchable + Sync,
+{
+    assert!(threads > 0, "thread count must be positive");
+    if samples == 0 {
+        return Err(EvalError::NoSamples);
+    }
+    let width = multiplier.width();
+    if width > BATCH_MAX_WIDTH {
+        return Err(EvalError::UnsupportedWidth {
+            width,
+            limit: BATCH_MAX_WIDTH,
+        });
+    }
+    const SHARDS: u64 = 256;
+    let per_shard = samples.div_ceil(SHARDS);
+    let shard_list: Vec<u64> = (0..SHARDS).collect();
+    let partials = parallel_shard_chunks(&shard_list, threads, |shards| {
+        let batch = multiplier.batch_model();
+        let mut acc = ErrorAccumulator::new();
+        let mut a_lanes = [0u64; LANES];
+        let mut b_lanes = [0u64; LANES];
+        let mut approx = [0u64; LANES];
+        let mut product = [0u64; LANES];
+        let planes = width as usize;
+        for &shard in shards {
+            let mut rng = SplitMix64::new(seed ^ (shard.wrapping_mul(0x9e37_79b9)));
+            let begin = shard * per_shard;
+            let end = (begin + per_shard).min(samples);
+            let mut n = begin;
+            while n < end {
+                let valid = (end - n).min(LANES as u64) as usize;
+                for i in 0..valid {
+                    a_lanes[i] = rng.next_bits(width);
+                    b_lanes[i] = rng.next_bits(width);
+                }
+                a_lanes[valid..].fill(0);
+                b_lanes[valid..].fill(0);
+                let a_planes = operand_planes(&a_lanes, width);
+                let b_planes = operand_planes(&b_lanes, width);
+                batch.multiply_planes(
+                    &a_planes[..planes],
+                    &b_planes[..planes],
+                    &mut product[..2 * planes],
+                );
+                crate::batch::extract_product_lanes(&product[..2 * planes], &mut approx);
+                let mut err_mask = 0u64;
+                for i in 0..valid {
+                    let exact = u128::from(a_lanes[i]) * u128::from(b_lanes[i]);
+                    err_mask |= u64::from(u128::from(approx[i]) != exact) << i;
+                }
+                acc.record_exact_many(valid as u64 - u64::from(err_mask.count_ones()));
+                while err_mask != 0 {
+                    let i = err_mask.trailing_zeros() as usize;
+                    err_mask &= err_mask - 1;
+                    acc.record_u64(
+                        u128::from(a_lanes[i]) * u128::from(b_lanes[i]),
+                        u128::from(approx[i]),
+                        (a_lanes[i], b_lanes[i]),
+                    );
+                }
+                n += valid as u64;
+            }
+        }
+        acc
+    });
+    let mut total = ErrorAccumulator::new();
+    for p in &partials {
+        total.merge(p);
+    }
+    Ok(total.finish(multiplier.max_product()))
+}
+
+/// Transposes 64 lane-form operands into `width` bit-planes, picking the
+/// cheapest block network that fits.
+fn operand_planes(lanes: &[u64; LANES], width: u32) -> [u64; BATCH_MAX_WIDTH as usize] {
+    let mut out = [0u64; BATCH_MAX_WIDTH as usize];
+    if width <= 16 {
+        let narrow: [u16; LANES] = core::array::from_fn(|i| lanes[i] as u16);
+        out[..16].copy_from_slice(&bitplane::planes_from_lanes16(&narrow));
+    } else {
+        let narrow: [u32; LANES] = core::array::from_fn(|i| lanes[i] as u32);
+        out.copy_from_slice(&bitplane::planes_from_lanes32(&narrow));
+    }
+    out
 }
 
 fn draw_u128(rng: &mut SplitMix64, width: u32) -> u128 {
@@ -340,6 +716,87 @@ mod tests {
         let err = exhaustive(&m).unwrap_err();
         assert!(matches!(err, EvalError::WidthTooLarge { width: 32, .. }));
         assert!(err.to_string().contains("32-bit"));
+    }
+
+    #[test]
+    fn bitsliced_exhaustive_is_bit_identical_to_scalar() {
+        for depth in [2u32, 3, 4] {
+            let m = SdlcMultiplier::new(8, depth).unwrap();
+            let scalar = exhaustive_with_threads(&m, 3).unwrap();
+            let bitsliced = exhaustive_bitsliced_with_threads(&m, 3).unwrap();
+            assert_eq!(scalar, bitsliced, "depth {depth}");
+        }
+        // Tiny widths exercise the partial-block path (count < 64 lanes).
+        for width in [2u32, 4] {
+            let m = SdlcMultiplier::new(width, 2).unwrap();
+            assert_eq!(
+                exhaustive_with_threads(&m, 2).unwrap(),
+                exhaustive_bitsliced_with_threads(&m, 2).unwrap(),
+                "width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn bitsliced_exhaustive_is_thread_count_invariant() {
+        let m = SdlcMultiplier::new(6, 3).unwrap();
+        let one = exhaustive_bitsliced_with_threads(&m, 1).unwrap();
+        let many = exhaustive_bitsliced_with_threads(&m, 7).unwrap();
+        assert_eq!(one.samples, many.samples);
+        assert_eq!(one.error_rate, many.error_rate);
+        assert!((one.mred - many.mred).abs() < 1e-15);
+        assert_eq!(one.max_red, many.max_red);
+    }
+
+    #[test]
+    fn bitsliced_sampled_is_bit_identical_to_scalar() {
+        let m = SdlcMultiplier::new(12, 3).unwrap();
+        let scalar = sampled_with_threads(&m, 40_000, 42, 4).unwrap();
+        let bitsliced = sampled_bitsliced_with_threads(&m, 40_000, 42, 4).unwrap();
+        assert_eq!(scalar, bitsliced);
+        // ETM errs on exact-zero products; the undefined-RED path must
+        // agree too.
+        let etm = crate::baselines::EtmMultiplier::new(8).unwrap();
+        let scalar = sampled_with_threads(&etm, 20_000, 7, 4).unwrap();
+        let bitsliced = sampled_bitsliced_with_threads(&etm, 20_000, 7, 4).unwrap();
+        assert_eq!(scalar, bitsliced);
+        assert!(scalar.undefined_red_count > 0);
+    }
+
+    #[test]
+    fn engine_dispatch_and_parsing() {
+        let m = SdlcMultiplier::new(6, 2).unwrap();
+        assert_eq!(
+            exhaustive_with_engine(&m, Engine::Scalar).unwrap(),
+            exhaustive_with_engine(&m, Engine::BitSliced).unwrap()
+        );
+        assert_eq!(
+            sampled_with_engine(&m, 5000, 3, Engine::Scalar).unwrap(),
+            sampled_with_engine(&m, 5000, 3, Engine::BitSliced).unwrap()
+        );
+        assert_eq!("scalar".parse::<Engine>().unwrap(), Engine::Scalar);
+        assert_eq!("bitsliced".parse::<Engine>().unwrap(), Engine::BitSliced);
+        assert_eq!(Engine::default(), Engine::Scalar);
+        assert_eq!(Engine::BitSliced.to_string(), "bitsliced");
+        assert!("turbo".parse::<Engine>().unwrap_err().contains("turbo"));
+    }
+
+    #[test]
+    fn bitsliced_limits() {
+        // 32-bit exhaustive exceeds even the raised bit-sliced limit.
+        let m = SdlcMultiplier::new(32, 2).unwrap();
+        let err = exhaustive_bitsliced(&m).unwrap_err();
+        assert!(matches!(err, EvalError::WidthTooLarge { width: 32, limit }
+                if limit == BITSLICED_EXHAUSTIVE_WIDTH_LIMIT));
+        // Sampling through the bit-sliced engine caps at 32-bit models.
+        let wide = SdlcMultiplier::new(64, 2).unwrap();
+        let err = sampled_bitsliced(&wide, 100, 1).unwrap_err();
+        assert!(matches!(err, EvalError::UnsupportedWidth { width: 64, .. }));
+        assert!(err.to_string().contains("bit-sliced"));
+        assert_eq!(
+            sampled_bitsliced(&m, 0, 1).unwrap_err(),
+            EvalError::NoSamples
+        );
     }
 
     #[test]

@@ -58,14 +58,29 @@ impl ErrorAccumulator {
             return;
         }
         self.errors += 1;
-        let ed = exact.abs_diff(approx) as f64;
+        // `u64 → f64` is a single instruction while `u128 → f64` is a
+        // slow libcall; both round identically for values that fit, so
+        // taking the narrow path keeps results bit-identical. Error
+        // distances and ≤64-bit products (the exhaustive sweeps' entire
+        // diet) always fit.
+        let diff = exact.abs_diff(approx);
+        let ed = if diff <= u128::from(u64::MAX) {
+            diff as u64 as f64
+        } else {
+            diff as f64
+        };
         if exact == 0 {
             self.undefined_red += 1;
             self.sum_ed += ed;
             self.max_ed = self.max_ed.max(ed);
             return;
         }
-        let red = ed / exact as f64;
+        let exact_f = if exact <= u128::from(u64::MAX) {
+            exact as u64 as f64
+        } else {
+            exact as f64
+        };
+        let red = ed / exact_f;
         self.bump(ed, red, (u128::from(operands.0), u128::from(operands.1)));
     }
 
@@ -97,6 +112,14 @@ impl ErrorAccumulator {
             self.max_red = red;
             self.worst_red_operands = Some(operands);
         }
+    }
+
+    /// Records `count` exact multiplications at once — equivalent to
+    /// `count` calls of [`ErrorAccumulator::record_u64`] with
+    /// `exact == approx`. The bit-sliced drivers use this for the lanes
+    /// of a batch whose products matched the reference.
+    pub fn record_exact_many(&mut self, count: u64) {
+        self.samples += count;
     }
 
     /// Number of samples recorded so far.

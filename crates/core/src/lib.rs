@@ -39,6 +39,7 @@
 //! ```
 
 pub mod baselines;
+pub mod batch;
 pub mod circuits;
 mod compensate;
 pub mod error;
@@ -46,6 +47,7 @@ pub mod matrix;
 mod multiplier;
 mod sdlc;
 
+pub use batch::{BatchMultiplier, Batchable};
 pub use compensate::BiasCompensated;
 pub use multiplier::{AccurateMultiplier, Multiplier, SpecError};
 pub use sdlc::{ClusterVariant, SdlcMultiplier};

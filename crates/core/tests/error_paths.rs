@@ -1,0 +1,118 @@
+//! Error-path coverage: the `SpecError`/`EvalError` surfaces and the
+//! driver panic contracts, for both evaluation engines.
+
+use sdlc_core::error::{
+    exhaustive, exhaustive_bitsliced, exhaustive_bitsliced_with_threads, exhaustive_with_threads,
+    sampled, sampled_bitsliced, sampled_bitsliced_with_threads, sampled_with_threads, EvalError,
+    BITSLICED_EXHAUSTIVE_WIDTH_LIMIT, EXHAUSTIVE_WIDTH_LIMIT,
+};
+use sdlc_core::{AccurateMultiplier, SdlcMultiplier, SpecError};
+
+#[test]
+fn spec_error_messages_name_the_constraint() {
+    let err = SdlcMultiplier::new(7, 2).unwrap_err();
+    assert!(matches!(err, SpecError::Width { width: 7, .. }));
+    assert!(err.to_string().contains("even"), "{err}");
+
+    let err = SdlcMultiplier::new(130, 2).unwrap_err();
+    assert!(err.to_string().contains("2..=128"), "{err}");
+
+    let err = SdlcMultiplier::new(8, 0).unwrap_err();
+    assert!(matches!(err, SpecError::Depth { depth: 0, .. }));
+    assert!(err.to_string().contains("at least 1"), "{err}");
+
+    let err = SdlcMultiplier::new(8, 9).unwrap_err();
+    assert!(err.to_string().contains("must not exceed"), "{err}");
+}
+
+#[test]
+fn width_too_large_messages_state_both_limits() {
+    let m = SdlcMultiplier::new(32, 2).unwrap();
+    let scalar = exhaustive(&m).unwrap_err();
+    assert_eq!(
+        scalar,
+        EvalError::WidthTooLarge {
+            width: 32,
+            limit: EXHAUSTIVE_WIDTH_LIMIT
+        }
+    );
+    assert!(scalar.to_string().contains("2^64 cases"), "{scalar}");
+    assert!(scalar.to_string().contains("at most 16-bit"), "{scalar}");
+
+    let bitsliced = exhaustive_bitsliced(&m).unwrap_err();
+    assert_eq!(
+        bitsliced,
+        EvalError::WidthTooLarge {
+            width: 32,
+            limit: BITSLICED_EXHAUSTIVE_WIDTH_LIMIT
+        }
+    );
+    assert!(
+        bitsliced.to_string().contains("at most 20-bit"),
+        "{bitsliced}"
+    );
+}
+
+#[test]
+fn bitsliced_sampling_rejects_models_beyond_the_plane_stack() {
+    let wide = AccurateMultiplier::new(64).unwrap();
+    let err = sampled_bitsliced(&wide, 10, 1).unwrap_err();
+    assert_eq!(
+        err,
+        EvalError::UnsupportedWidth {
+            width: 64,
+            limit: 32
+        }
+    );
+    assert!(err.to_string().contains("up to 32-bit"), "{err}");
+    assert!(err.to_string().contains("64-bit"), "{err}");
+}
+
+#[test]
+fn zero_samples_are_rejected_by_every_sampler() {
+    let m = SdlcMultiplier::new(8, 2).unwrap();
+    for err in [
+        sampled(&m, 0, 1).unwrap_err(),
+        sampled_bitsliced(&m, 0, 1).unwrap_err(),
+        sampled_with_threads(&m, 0, 1, 2).unwrap_err(),
+        sampled_bitsliced_with_threads(&m, 0, 1, 2).unwrap_err(),
+    ] {
+        assert_eq!(err, EvalError::NoSamples);
+        assert!(err.to_string().contains("must be positive"), "{err}");
+    }
+}
+
+#[test]
+#[should_panic(expected = "thread count must be positive")]
+fn scalar_exhaustive_rejects_zero_threads() {
+    let m = SdlcMultiplier::new(4, 2).unwrap();
+    let _ = exhaustive_with_threads(&m, 0);
+}
+
+#[test]
+#[should_panic(expected = "thread count must be positive")]
+fn bitsliced_exhaustive_rejects_zero_threads() {
+    let m = SdlcMultiplier::new(4, 2).unwrap();
+    let _ = exhaustive_bitsliced_with_threads(&m, 0);
+}
+
+#[test]
+#[should_panic(expected = "thread count must be positive")]
+fn scalar_sampler_rejects_zero_threads() {
+    let m = SdlcMultiplier::new(4, 2).unwrap();
+    let _ = sampled_with_threads(&m, 100, 1, 0);
+}
+
+#[test]
+#[should_panic(expected = "thread count must be positive")]
+fn bitsliced_sampler_rejects_zero_threads() {
+    let m = SdlcMultiplier::new(4, 2).unwrap();
+    let _ = sampled_bitsliced_with_threads(&m, 100, 1, 0);
+}
+
+#[test]
+#[should_panic(expected = "bit-sliced engines support widths up to 32 bits")]
+fn batch_model_rejects_wide_models() {
+    use sdlc_core::Batchable;
+    let _ = SdlcMultiplier::new(64, 2).unwrap().batch_model();
+}

@@ -32,6 +32,7 @@
 //! * [`Wide::widening_mul`] returns the double-width product as a
 //!   `(low, high)` pair so callers never silently lose product bits.
 
+pub mod bitplane;
 mod convert;
 mod fmt;
 mod limbs;

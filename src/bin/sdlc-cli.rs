@@ -15,7 +15,10 @@
 use std::process::ExitCode;
 
 use sdlc::core::circuits::{accurate_multiplier, sdlc_multiplier, ReductionScheme};
-use sdlc::core::error::{exhaustive, mean_error_distance, sampled};
+use sdlc::core::error::{
+    exhaustive_with_engine, mean_error_distance, sampled_with_engine, Engine,
+    BITSLICED_EXHAUSTIVE_WIDTH_LIMIT,
+};
 use sdlc::core::matrix::ReducedMatrix;
 use sdlc::core::{ClusterVariant, Multiplier, SdlcMultiplier};
 use sdlc::netlist::{passes, to_verilog};
@@ -41,6 +44,9 @@ OPTIONS:
   --depths A,B,..  heterogeneous cluster depths (sum = width)
   --variant V      prog | ceiltails | pairtails | fullor (default prog)
   --scheme S       ripple | csa | wallace | dadda (default ripple)
+  --engine E       scalar | bitsliced (default scalar) — bitsliced packs
+                   64 multiplications into word-wide bit-plane ops and
+                   sweeps exhaustively up to 20 bits (2^40 pairs)
   --samples K      Monte-Carlo samples for wide widths (default 2^22)
   --out FILE       output path for `verilog` (default stdout)
   --lib FILE       cell library in sdlc-techlib text format
@@ -54,6 +60,7 @@ struct Options {
     depths: Option<Vec<u32>>,
     variant: ClusterVariant,
     scheme: ReductionScheme,
+    engine: Engine,
     samples: u64,
     out: Option<String>,
     lib: Option<String>,
@@ -67,6 +74,7 @@ impl Default for Options {
             depths: None,
             variant: ClusterVariant::Progressive,
             scheme: ReductionScheme::RippleRows,
+            engine: Engine::Scalar,
             samples: 1 << 22,
             out: None,
             lib: None,
@@ -113,6 +121,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     other => return Err(format!("unknown scheme {other:?}")),
                 };
             }
+            "--engine" => {
+                options.engine = value()?.parse()?;
+            }
             "--samples" => {
                 options.samples = value()?
                     .parse()
@@ -136,11 +147,20 @@ fn build_model(options: &Options) -> Result<SdlcMultiplier, String> {
 
 fn cmd_errors(options: &Options) -> Result<(), String> {
     let model = build_model(options)?;
-    println!("design {}", model.name());
-    let metrics = if options.width <= 12 {
-        exhaustive(&model).map_err(|e| e.to_string())?
+    println!("design {} (engine {})", model.name(), options.engine);
+    // The bit-sliced engine makes full sweeps cheap enough to exhaust
+    // everything up to its 20-bit driver ceiling (the paper's entire
+    // synthesized range is ≤16); the scalar path keeps its 12-bit
+    // practicality cutoff.
+    let exhaustive_cutoff = match options.engine {
+        Engine::Scalar => 12,
+        Engine::BitSliced => BITSLICED_EXHAUSTIVE_WIDTH_LIMIT,
+    };
+    let metrics = if options.width <= exhaustive_cutoff {
+        exhaustive_with_engine(&model, options.engine).map_err(|e| e.to_string())?
     } else {
-        sampled(&model, options.samples, 0x5D1C).map_err(|e| e.to_string())?
+        sampled_with_engine(&model, options.samples, 0x5D1C, options.engine)
+            .map_err(|e| e.to_string())?
     };
     println!("{metrics}");
     if metrics.samples < 1u64 << (2 * options.width.min(32)) {

@@ -36,6 +36,39 @@ fn errors_supports_heterogeneous_depths_and_variants() {
 }
 
 #[test]
+fn errors_supports_the_bitsliced_engine() {
+    // Same published Table II numbers through the 64-lane engine.
+    let (stdout, _, ok) = run(&[
+        "errors",
+        "--width",
+        "8",
+        "--depth",
+        "2",
+        "--engine",
+        "bitsliced",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("engine bitsliced"), "{stdout}");
+    assert!(stdout.contains("MRED 1.98"), "{stdout}");
+    assert!(stdout.contains("ER 49.11"), "{stdout}");
+    // Explicitly selecting the default engine also works.
+    let (stdout, _, ok) = run(&["errors", "--width", "8", "--engine", "scalar"]);
+    assert!(ok);
+    assert!(stdout.contains("engine scalar"), "{stdout}");
+}
+
+#[test]
+fn unknown_engine_is_rejected() {
+    let (_, stderr, ok) = run(&["errors", "--width", "8", "--engine", "turbo"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown engine"), "{stderr}");
+    assert!(stderr.contains("turbo"), "{stderr}");
+    let (_, stderr, ok) = run(&["errors", "--engine"]);
+    assert!(!ok);
+    assert!(stderr.contains("needs a value"), "{stderr}");
+}
+
+#[test]
 fn dot_command_draws_the_matrix() {
     let (stdout, _, ok) = run(&["dot", "--width", "8", "--depth", "2"]);
     assert!(ok);

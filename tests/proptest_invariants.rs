@@ -2,15 +2,21 @@
 
 use proptest::prelude::*;
 use sdlc::core::baselines::{EtmMultiplier, KulkarniMultiplier, TruncatedMultiplier};
+use sdlc::core::batch::{BatchMultiplier, Batchable, LANES};
 use sdlc::core::matrix::ReducedMatrix;
 use sdlc::core::{AccurateMultiplier, ClusterVariant, Multiplier, SdlcMultiplier};
-use sdlc::wideint::U256;
+use sdlc::wideint::{bitplane, U256};
 
 /// Any supported (width, depth) pair.
 fn arb_spec() -> impl Strategy<Value = (u32, u32)> {
     (1u32..=8)
         .prop_map(|half| half * 2) // even widths 2..=16
         .prop_flat_map(|width| (Just(width), 1u32..=width))
+}
+
+/// 64 lanes of arbitrary 64-bit words.
+fn arb_lanes() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(any::<u64>(), LANES)
 }
 
 proptest! {
@@ -112,6 +118,68 @@ proptest! {
             .sum();
         prop_assert!(approx <= exact);
         prop_assert!(exact - approx <= bound);
+    }
+
+    /// The bit-plane transpose is an involution: two applications restore
+    /// the input, for the full 64×64 network and the 16/32-plane block
+    /// networks alike.
+    #[test]
+    fn transpose_round_trips(lanes in arb_lanes()) {
+        let lanes: [u64; LANES] = lanes.try_into().unwrap();
+        prop_assert_eq!(bitplane::transposed64(&bitplane::transposed64(&lanes)), lanes);
+        let narrow16: [u16; LANES] = core::array::from_fn(|i| lanes[i] as u16);
+        prop_assert_eq!(
+            bitplane::lanes_from_planes16(&bitplane::planes_from_lanes16(&narrow16)),
+            narrow16
+        );
+        let narrow32: [u32; LANES] = core::array::from_fn(|i| lanes[i] as u32);
+        prop_assert_eq!(
+            bitplane::lanes_from_planes32(&bitplane::planes_from_lanes32(&narrow32)),
+            narrow32
+        );
+    }
+
+    /// The batch engine agrees with the scalar model on arbitrary
+    /// operands, for every SDLC spec and variant.
+    #[test]
+    fn batch_matches_scalar((width, depth) in arb_spec(), variant_idx in 0usize..4,
+                            a in arb_lanes(), b in arb_lanes()) {
+        let variant = [ClusterVariant::Progressive, ClusterVariant::CeilTails,
+                       ClusterVariant::PairTails, ClusterVariant::FullOr][variant_idx];
+        let model = SdlcMultiplier::with_variant(width, depth, variant).unwrap();
+        let batch = model.batch_model();
+        let mask = (1u64 << width) - 1;
+        let a: [u64; LANES] = core::array::from_fn(|i| a[i] & mask);
+        let b: [u64; LANES] = core::array::from_fn(|i| b[i] & mask);
+        let products = batch.multiply_lanes(&a, &b);
+        for i in 0..LANES {
+            prop_assert_eq!(products[i], model.multiply_u64(a[i], b[i]));
+        }
+    }
+
+    /// Lanes are independent: permuting the operand lanes permutes the
+    /// product lanes identically (a rotation plus a transposition span
+    /// the permutation group).
+    #[test]
+    fn batch_lanes_are_independent((width, depth) in arb_spec(),
+                                   a in arb_lanes(), b in arb_lanes(),
+                                   rot in 0usize..LANES,
+                                   i in 0usize..LANES, j in 0usize..LANES) {
+        let model = SdlcMultiplier::new(width, depth).unwrap();
+        let batch = model.batch_model();
+        let mask = (1u64 << width) - 1;
+        let a: [u64; LANES] = core::array::from_fn(|k| a[k] & mask);
+        let b: [u64; LANES] = core::array::from_fn(|k| b[k] & mask);
+        let base = batch.multiply_lanes(&a, &b);
+        // Permute: rotate by `rot`, then swap lanes i and j.
+        let mut perm: [usize; LANES] = core::array::from_fn(|k| (k + rot) % LANES);
+        perm.swap(i, j);
+        let pa: [u64; LANES] = core::array::from_fn(|k| a[perm[k]]);
+        let pb: [u64; LANES] = core::array::from_fn(|k| b[perm[k]]);
+        let permuted = batch.multiply_lanes(&pa, &pb);
+        for k in 0..LANES {
+            prop_assert_eq!(permuted[k], base[perm[k]], "lane {}", k);
+        }
     }
 
     /// The accurate model agrees with native multiplication at any width.
