@@ -55,10 +55,12 @@
 mod accurate;
 mod baselines;
 mod sdlc;
+pub(crate) mod signed;
 
 pub use accurate::BatchAccurate;
 pub use baselines::{BatchEtm, BatchKulkarni, BatchTruncated};
 pub use sdlc::BatchSdlc;
+pub use signed::{BatchSignMagnitude, SignedBatchMultiplier};
 
 use sdlc_wideint::bitplane::transposed64;
 

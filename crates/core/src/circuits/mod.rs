@@ -15,11 +15,13 @@ mod accurate;
 mod etm;
 mod kulkarni;
 mod sdlc;
+mod signed;
 
 pub use accurate::accurate_multiplier;
 pub use etm::etm_multiplier;
 pub use kulkarni::kulkarni_multiplier;
 pub use sdlc::{sdlc_multiplier, truncated_multiplier};
+pub use signed::{signed_accurate_multiplier, signed_multiplier, signed_sdlc_multiplier};
 
 /// How partial-product rows are accumulated into the final product.
 ///

@@ -84,6 +84,48 @@ impl ErrorAccumulator {
         self.bump(ed, red, (u128::from(operands.0), u128::from(operands.1)));
     }
 
+    /// Records one *signed* multiplication with products that fit `i128`:
+    /// `ED = |P − P′|` over the signed values and `RED = ED / |P|`, so a
+    /// sign-magnitude model's statistics are the unsigned core's mirrored
+    /// into every quadrant. Operands are tagged as full-width
+    /// two's-complement patterns (see
+    /// [`ErrorMetrics::worst_red_operands_signed`]); the zero-product
+    /// convention matches [`ErrorAccumulator::record_u64`].
+    pub fn record_i64(&mut self, exact: i128, approx: i128, operands: (i64, i64)) {
+        self.samples += 1;
+        if exact == approx {
+            return;
+        }
+        self.errors += 1;
+        let diff = exact.abs_diff(approx);
+        let ed = if diff <= u128::from(u64::MAX) {
+            diff as u64 as f64
+        } else {
+            diff as f64
+        };
+        if exact == 0 {
+            self.undefined_red += 1;
+            self.sum_ed += ed;
+            self.max_ed = self.max_ed.max(ed);
+            return;
+        }
+        let magnitude = exact.unsigned_abs();
+        let exact_f = if magnitude <= u128::from(u64::MAX) {
+            magnitude as u64 as f64
+        } else {
+            magnitude as f64
+        };
+        let red = ed / exact_f;
+        self.bump(
+            ed,
+            red,
+            (
+                i128::from(operands.0) as u128,
+                i128::from(operands.1) as u128,
+            ),
+        );
+    }
+
     /// Records one multiplication with wide products; see
     /// [`ErrorAccumulator::record_u64`] for the zero-product convention.
     pub fn record(&mut self, exact: &U256, approx: &U256, operands: (u128, u128)) {
@@ -151,6 +193,24 @@ impl ErrorAccumulator {
     /// Panics if no samples were recorded or `pmax` is zero.
     #[must_use]
     pub fn finish(&self, pmax: U256) -> ErrorMetrics {
+        self.finish_inner(pmax, false)
+    }
+
+    /// [`ErrorAccumulator::finish`] for a stream recorded through
+    /// [`ErrorAccumulator::record_i64`]: `pmax` is the signed product
+    /// magnitude ceiling `(2^{N−1})²` and the metrics carry the
+    /// [`ErrorMetrics::signed`] marker, making the worst-operand pair
+    /// decodable as two's complement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples were recorded or `pmax` is zero.
+    #[must_use]
+    pub fn finish_signed(&self, pmax: U256) -> ErrorMetrics {
+        self.finish_inner(pmax, true)
+    }
+
+    fn finish_inner(&self, pmax: U256, signed: bool) -> ErrorMetrics {
         assert!(self.samples > 0, "cannot finish an empty accumulator");
         assert!(!pmax.is_zero(), "Pmax must be positive");
         let n = self.samples as f64;
@@ -186,6 +246,7 @@ impl ErrorAccumulator {
             er_std_error: (error_rate * (1.0 - error_rate) / n).sqrt(),
             undefined_red_count: self.undefined_red,
             worst_red_operands: self.worst_red_operands,
+            signed,
         }
     }
 }
@@ -218,20 +279,41 @@ pub struct ErrorMetrics {
     /// Wrong products whose exact product was zero (RED undefined;
     /// excluded from `mred`/`max_red`, included in ER/ED statistics).
     pub undefined_red_count: u64,
-    /// Operand pair achieving `max_red`, if any error was seen.
+    /// Operand pair achieving `max_red`, if any error was seen. For
+    /// signed runs these are full-width two's-complement patterns; decode
+    /// them with [`ErrorMetrics::worst_red_operands_signed`].
     pub worst_red_operands: Option<(u128, u128)>,
+    /// Whether the operand domain was signed (recorded through
+    /// [`ErrorAccumulator::record_i64`] / finished with
+    /// [`ErrorAccumulator::finish_signed`]): the sweep covered
+    /// `[-2^{N-1}, 2^{N-1})²` and `Pmax = (2^{N-1})²`.
+    pub signed: bool,
+}
+
+impl ErrorMetrics {
+    /// The worst-RED operand pair of a signed run, decoded from the
+    /// two's-complement patterns (`None` for unsigned runs or when no
+    /// error was seen).
+    #[must_use]
+    pub fn worst_red_operands_signed(&self) -> Option<(i128, i128)> {
+        if !self.signed {
+            return None;
+        }
+        self.worst_red_operands.map(|(a, b)| (a as i128, b as i128))
+    }
 }
 
 impl fmt::Display for ErrorMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "MRED {:.5}%  NMED {:.6}  ER {:.2}%  MAX(RED) {:.4}%  ({} samples)",
+            "MRED {:.5}%  NMED {:.6}  ER {:.2}%  MAX(RED) {:.4}%  ({} samples{})",
             self.mred * 100.0,
             self.nmed,
             self.error_rate * 100.0,
             self.max_red * 100.0,
-            self.samples
+            self.samples,
+            if self.signed { ", signed" } else { "" }
         )
     }
 }
@@ -341,6 +423,46 @@ mod tests {
         assert!(small.mred_std_error > large.mred_std_error * 5.0);
         // Binomial check: p = 0.5 at n = 100 → 0.05.
         assert!((small.er_std_error - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signed_records_mirror_unsigned_magnitudes() {
+        // Same magnitudes, all four sign quadrants: the signed statistics
+        // must equal the unsigned ones computed on the magnitudes.
+        let mut unsigned = ErrorAccumulator::new();
+        let mut signed = ErrorAccumulator::new();
+        for (exact, approx) in [(100i128, 90i128), (17, 17), (55, 48)] {
+            unsigned.record_u64(exact as u128, approx as u128, (5, 20));
+            for (sa, sb) in [(1i128, 1i128), (-1, 1), (1, -1), (-1, -1)] {
+                let sign = sa * sb;
+                signed.record_i64(exact * sign, approx * sign, (5 * sa as i64, 20 * sb as i64));
+            }
+        }
+        let pmax = U256::from_u64(1 << 14);
+        let u = unsigned.finish(pmax);
+        let s = signed.finish_signed(pmax);
+        assert!(!u.signed && s.signed);
+        assert_eq!(s.samples, 4 * u.samples);
+        assert_eq!(s.error_rate, u.error_rate);
+        assert!((s.mred - u.mred).abs() < 1e-15);
+        assert!((s.med - u.med).abs() < 1e-12);
+        assert_eq!(s.max_red, u.max_red);
+        assert_eq!(u.worst_red_operands_signed(), None);
+        assert_eq!(s.worst_red_operands_signed(), Some((5, 20)));
+        assert!(s.to_string().contains("signed"), "{s}");
+        assert!(!u.to_string().contains("signed"), "{u}");
+    }
+
+    #[test]
+    fn signed_zero_product_errors_have_undefined_red() {
+        let mut acc = ErrorAccumulator::new();
+        acc.record_i64(0, -3, (-1, 0));
+        acc.record_i64(-10, -8, (5, -2));
+        let m = acc.finish_signed(U256::from_u64(100));
+        assert_eq!(m.undefined_red_count, 1);
+        assert_eq!(m.error_rate, 1.0);
+        assert!((m.max_red - 0.2).abs() < 1e-15);
+        assert_eq!(m.worst_red_operands_signed(), Some((5, -2)));
     }
 
     #[test]

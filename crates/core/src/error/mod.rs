@@ -26,6 +26,7 @@ mod analytic;
 mod evaluate;
 mod histogram;
 mod metrics;
+mod signed;
 
 pub use analytic::{
     adjacent_ones_profile, error_rate_depth2, mean_error_distance, normalized_mean_error_distance,
@@ -38,3 +39,9 @@ pub use evaluate::{
 };
 pub use histogram::{RedHistogram, RED_HISTOGRAM_BINS};
 pub use metrics::{ErrorAccumulator, ErrorMetrics};
+pub use signed::{
+    exhaustive_signed, exhaustive_signed_bitsliced, exhaustive_signed_bitsliced_with_threads,
+    exhaustive_signed_with_engine, exhaustive_signed_with_threads, sampled_signed,
+    sampled_signed_bitsliced, sampled_signed_bitsliced_with_threads, sampled_signed_with_engine,
+    sampled_signed_with_threads,
+};

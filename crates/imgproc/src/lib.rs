@@ -14,7 +14,10 @@
 //! * [`convolve_3x3`] — convolution with a pluggable
 //!   [`sdlc_core::Multiplier`], approximating exactly (and only) the
 //!   multiplications, as the paper does;
-//! * [`psnr`] / [`mse`] — the fidelity metrics of Eq. (3).
+//! * [`psnr`] / [`mse`] — the fidelity metrics of Eq. (3);
+//! * [`SignedKernel`] / [`convolve_3x3_signed`] / [`sobel_magnitude`] —
+//!   the signed convolution path: edge-detection kernels with negative
+//!   taps driven by a pluggable [`sdlc_core::SignedMultiplier`].
 //!
 //! ```
 //! use sdlc_core::{AccurateMultiplier, SdlcMultiplier};
@@ -33,11 +36,17 @@ mod image;
 mod kernel;
 mod pgm;
 pub mod scenes;
+mod signed_kernel;
+mod sobel;
 
 pub use convolve::convolve_3x3;
 pub use image::GrayImage;
 pub use kernel::FixedKernel;
 pub use pgm::{read_pgm, write_pgm, PgmError};
+pub use signed_kernel::SignedKernel;
+pub use sobel::{
+    convolve_3x3_signed, gradient_magnitude, scharr_magnitude, sobel_magnitude, GradientField,
+};
 
 /// Mean squared error between two same-sized images.
 ///

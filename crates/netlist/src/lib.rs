@@ -33,6 +33,7 @@ mod dot;
 mod ir;
 pub mod passes;
 pub mod reduce;
+pub mod signed;
 mod stats;
 mod verilog;
 

@@ -5,7 +5,7 @@
 //! above that. A mismatch reports the first failing operand pair.
 
 use sdlc_netlist::Netlist;
-use sdlc_wideint::{SplitMix64, U256};
+use sdlc_wideint::{SplitMix64, I256, U256};
 
 use crate::logic::ab_stimulus;
 use crate::LogicSim;
@@ -134,6 +134,132 @@ fn check_one(
     Ok(())
 }
 
+/// A counterexample from a *signed* equivalence check, with operands and
+/// products decoded from their two's-complement bus patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignedMismatch {
+    /// Left operand (signed value).
+    pub a: i128,
+    /// Right operand (signed value).
+    pub b: i128,
+    /// Signed product computed by the netlist.
+    pub netlist_product: I256,
+    /// Signed product computed by the reference model.
+    pub model_product: I256,
+}
+
+impl std::fmt::Display for SignedMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "signed netlist({}, {}) = {} but model says {}",
+            self.a, self.b, self.netlist_product, self.model_product
+        )
+    }
+}
+
+/// Interprets the low `width` bits of a pattern as two's complement.
+fn sign_extend(pattern: u128, width: u32) -> i128 {
+    ((pattern << (128 - width)) as i128) >> (128 - width)
+}
+
+/// Checks a signed (two's-complement `a`/`b`→`p`) netlist against `model`
+/// on every operand pair of `width × width` signed inputs, walking the
+/// bit patterns `0..2^width` on each bus (practical to ~8 bits).
+///
+/// # Errors
+///
+/// Returns the first [`SignedMismatch`] found.
+///
+/// # Panics
+///
+/// Panics if `width > 16` or `width == 128` (the pattern walk needs
+/// `1 << width` to fit).
+pub fn check_exhaustive_signed(
+    netlist: &Netlist,
+    width: u32,
+    model: impl Fn(i128, i128) -> I256,
+) -> Result<(), Box<SignedMismatch>> {
+    assert!(
+        width <= 16,
+        "exhaustive equivalence beyond 16 bits is impractical"
+    );
+    let mut sim = LogicSim::new(netlist);
+    for ua in 0..(1u128 << width) {
+        for ub in 0..(1u128 << width) {
+            check_one_signed(netlist, &mut sim, width, ua, ub, &model)?;
+        }
+    }
+    Ok(())
+}
+
+/// Checks `samples` seeded random signed operand pairs plus the signed
+/// corner patterns (0, ±1, MAX, MIN in each position).
+///
+/// # Errors
+///
+/// Returns the first [`SignedMismatch`] found.
+pub fn check_sampled_signed(
+    netlist: &Netlist,
+    width: u32,
+    samples: u64,
+    seed: u64,
+    model: impl Fn(i128, i128) -> I256,
+) -> Result<(), Box<SignedMismatch>> {
+    let mut sim = LogicSim::new(netlist);
+    let mask = if width == 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    };
+    let min_pattern = 1u128 << (width - 1); // MIN = 100…0
+    let max_pattern = min_pattern - 1; // MAX = 011…1
+    let corners = [0u128, 1, mask /* −1 */, max_pattern, min_pattern];
+    for &ua in &corners {
+        for &ub in &corners {
+            check_one_signed(netlist, &mut sim, width, ua, ub, &model)?;
+        }
+    }
+    let mut rng = SplitMix64::new(seed);
+    let draw = |rng: &mut SplitMix64| -> u128 {
+        if width <= 64 {
+            u128::from(rng.next_bits(width))
+        } else {
+            (u128::from(rng.next_bits(width - 64)) << 64) | u128::from(rng.next_u64())
+        }
+    };
+    for _ in 0..samples {
+        let ua = draw(&mut rng);
+        let ub = draw(&mut rng);
+        check_one_signed(netlist, &mut sim, width, ua, ub, &model)?;
+    }
+    Ok(())
+}
+
+fn check_one_signed(
+    netlist: &Netlist,
+    sim: &mut LogicSim<'_>,
+    width: u32,
+    ua: u128,
+    ub: u128,
+    model: &impl Fn(i128, i128) -> I256,
+) -> Result<(), Box<SignedMismatch>> {
+    sim.apply(&ab_stimulus(netlist, ua, ub));
+    let raw = read_product(sim, netlist);
+    let got = I256::from_twos_complement(&raw, 2 * width);
+    let (a, b) = (sign_extend(ua, width), sign_extend(ub, width));
+    let expect = model(a, b);
+    if got != expect {
+        return Err(Box::new(SignedMismatch {
+            a,
+            b,
+            netlist_product: got,
+            model_product: expect,
+        }));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,5 +310,47 @@ mod tests {
         assert!(text.contains("netlist("));
         // First mismatching pair under row-major order: a=0,b=1 → product 0 vs model 1.
         assert_eq!((err.a, err.b), (0, 1));
+    }
+
+    fn signed_wallace_multiplier(width: u32) -> Netlist {
+        sdlc_netlist::signed::sign_magnitude_wrap(&wallace_multiplier(width), width)
+    }
+
+    #[test]
+    fn signed_exhaustive_passes_for_exact_multiplier() {
+        let n = signed_wallace_multiplier(5);
+        check_exhaustive_signed(&n, 5, |a, b| I256::from_i128(a * b)).unwrap();
+    }
+
+    #[test]
+    fn signed_sampled_passes_for_wide_multiplier() {
+        let n = signed_wallace_multiplier(18);
+        check_sampled_signed(&n, 18, 300, 11, |a, b| I256::from_i128(a * b)).unwrap();
+    }
+
+    #[test]
+    fn signed_mismatch_formats_signed_operands() {
+        let n = signed_wallace_multiplier(4);
+        // Deliberately wrong model: claims every product is zero.
+        let err = check_exhaustive_signed(&n, 4, |_, _| I256::ZERO).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("signed netlist("), "{text}");
+        // First wrong pair in pattern order is a=1, b=1 (1·1 = 1 ≠ 0).
+        assert_eq!((err.a, err.b), (1, 1));
+        assert_eq!(err.model_product, I256::ZERO);
+        assert_eq!(err.netlist_product.to_i128(), Some(1));
+        // Negative operands and products print with their signs.
+        let err = check_sampled_signed(&n, 4, 0, 0, |a, b| {
+            // Wrong only where a product is negative, to land on a
+            // signed counterexample.
+            if a * b < 0 {
+                I256::ZERO
+            } else {
+                I256::from_i128(a * b)
+            }
+        })
+        .unwrap_err();
+        assert!(err.a < 0 || err.b < 0);
+        assert!(err.to_string().contains('-'), "{err}");
     }
 }

@@ -211,6 +211,23 @@ pub fn counter_planes(base: u64, width: u32, out: &mut [u64]) {
     }
 }
 
+/// Conditionally negates each lane of a plane stack in place: lanes whose
+/// bit in `mask` is set are replaced by their two's complement over
+/// `planes.len()` bits; the rest are untouched. This is the word-wide
+/// invert-and-increment the signed batch engines use for sign handling —
+/// one XOR per plane plus a carry ripple, 64 lanes at once.
+///
+/// A lane holding the most negative value (`100…0`) negates to itself,
+/// exactly like primitive `wrapping_neg`.
+pub fn negate_planes(planes: &mut [u64], mask: u64) {
+    let mut carry = mask;
+    for plane in planes {
+        let inverted = *plane ^ mask;
+        *plane = inverted ^ carry;
+        carry &= inverted;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,5 +295,31 @@ mod tests {
     fn counter_rejects_unaligned_base() {
         let mut out = [0u64; 8];
         counter_planes(3, 8, &mut out);
+    }
+
+    #[test]
+    fn negate_planes_is_lanewise_wrapping_neg() {
+        const WIDTH: u32 = 12;
+        let mut rng = SplitMix64::new(0x516);
+        for _ in 0..20 {
+            let lanes: [u64; LANES] = core::array::from_fn(|_| rng.next_bits(WIDTH));
+            let mask = rng.next_u64();
+            let mut planes = transposed64(&lanes);
+            negate_planes(&mut planes[..WIDTH as usize], mask);
+            let out = transposed64(&planes);
+            for i in 0..LANES {
+                let expect = if (mask >> i) & 1 == 1 {
+                    lanes[i].wrapping_neg() & ((1 << WIDTH) - 1)
+                } else {
+                    lanes[i]
+                };
+                assert_eq!(out[i], expect, "lane {i}");
+            }
+        }
+        // The most negative pattern is its own negation.
+        let lanes: [u64; LANES] = [1 << (WIDTH - 1); LANES];
+        let mut planes = transposed64(&lanes);
+        negate_planes(&mut planes[..WIDTH as usize], u64::MAX);
+        assert_eq!(transposed64(&planes), lanes);
     }
 }

@@ -38,9 +38,11 @@ mod fmt;
 mod limbs;
 mod ops;
 mod rng;
+mod signed;
 
 pub use limbs::Wide;
 pub use rng::SplitMix64;
+pub use signed::I256;
 
 /// 128-bit wide integer (2 limbs).
 pub type U128 = Wide<2>;

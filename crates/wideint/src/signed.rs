@@ -1,0 +1,310 @@
+//! Two's-complement signed view over [`U256`].
+//!
+//! The signed multiplier layer works on two's-complement operands up to
+//! 128 bits, whose products need up to 255 magnitude bits — [`I256`] holds
+//! any such product exactly. It is a thin interpretation layer: the bits
+//! are stored as a [`U256`] and every arithmetic helper is phrased in
+//! terms of the unsigned ops, so the unsigned core stays the single source
+//! of arithmetic truth.
+
+use core::cmp::Ordering;
+use core::fmt;
+
+use crate::U256;
+
+/// 256-bit signed integer in two's-complement representation.
+///
+/// # Examples
+///
+/// ```
+/// use sdlc_wideint::I256;
+///
+/// let a = I256::from_i128(-7);
+/// let b = I256::from_i128(3);
+/// assert_eq!(a.wrapping_add(&b).to_i128(), Some(-4));
+/// assert!(a < b);
+/// assert_eq!(a.to_string(), "-7");
+/// assert_eq!(a.magnitude().as_u64(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct I256 {
+    bits: U256,
+}
+
+impl I256 {
+    /// The value 0.
+    pub const ZERO: Self = Self { bits: U256::ZERO };
+
+    /// Sign-extends an `i128` into the full 256-bit representation.
+    #[must_use]
+    pub fn from_i128(value: i128) -> Self {
+        let low = U256::from_u128(value as u128);
+        if value < 0 {
+            // Set limbs 2 and 3 to all-ones to complete the extension.
+            let mut limbs = low.into_limbs();
+            limbs[2] = u64::MAX;
+            limbs[3] = u64::MAX;
+            Self {
+                bits: U256::from_limbs(limbs),
+            }
+        } else {
+            Self { bits: low }
+        }
+    }
+
+    /// Builds a value from an unsigned magnitude and a sign — the shape
+    /// sign-magnitude multipliers produce. `(magnitude, true)` yields
+    /// `-magnitude`; a zero magnitude is zero regardless of sign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the magnitude does not fit: 255 bits for positive values,
+    /// 2^255 for negative ones.
+    #[must_use]
+    pub fn from_sign_magnitude(magnitude: &U256, negative: bool) -> Self {
+        if negative {
+            let neg = U256::ZERO.wrapping_sub(magnitude);
+            assert!(
+                magnitude.is_zero() || neg.bit(255),
+                "magnitude {magnitude} overflows I256"
+            );
+            Self { bits: neg }
+        } else {
+            assert!(!magnitude.bit(255), "magnitude {magnitude} overflows I256");
+            Self { bits: *magnitude }
+        }
+    }
+
+    /// Sign-extends the low `width` bits of a raw two's-complement pattern
+    /// (e.g. a product bus read back from a netlist).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 256.
+    #[must_use]
+    pub fn from_twos_complement(bits: &U256, width: u32) -> Self {
+        assert!((1..=256).contains(&width), "width {width} out of 1..=256");
+        if width == 256 || !bits.bit(width - 1) {
+            let mut out = *bits;
+            for i in width..256 {
+                out.set_bit(i, false);
+            }
+            return Self { bits: out };
+        }
+        let mut out = *bits;
+        for i in width..256 {
+            out.set_bit(i, true);
+        }
+        Self { bits: out }
+    }
+
+    /// Raw two's-complement bit pattern.
+    #[must_use]
+    pub fn to_twos_complement(&self) -> U256 {
+        self.bits
+    }
+
+    /// True for values below zero.
+    #[must_use]
+    pub fn is_negative(&self) -> bool {
+        self.bits.bit(255)
+    }
+
+    /// True for zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.bits.is_zero()
+    }
+
+    /// Absolute value as an unsigned integer (`|-2^255|` = `2^255` is
+    /// representable, so this never overflows).
+    #[must_use]
+    pub fn magnitude(&self) -> U256 {
+        if self.is_negative() {
+            U256::ZERO.wrapping_sub(&self.bits)
+        } else {
+            self.bits
+        }
+    }
+
+    /// Converts to `i128` if the value fits.
+    #[must_use]
+    pub fn to_i128(&self) -> Option<i128> {
+        let limbs = self.bits.limbs();
+        let low = (u128::from(limbs[1]) << 64) | u128::from(limbs[0]);
+        let extension = if self.is_negative() { u64::MAX } else { 0 };
+        let sign_ok = (low as i128 >= 0) != self.is_negative();
+        if limbs[2] == extension && limbs[3] == extension && sign_ok {
+            Some(low as i128)
+        } else {
+            None
+        }
+    }
+
+    /// Two's-complement negation (wraps only for `-2^255`).
+    #[must_use]
+    pub fn wrapping_neg(&self) -> Self {
+        Self {
+            bits: U256::ZERO.wrapping_sub(&self.bits),
+        }
+    }
+
+    /// Wrapping addition.
+    #[must_use]
+    pub fn wrapping_add(&self, rhs: &Self) -> Self {
+        Self {
+            bits: self.bits.wrapping_add(&rhs.bits),
+        }
+    }
+
+    /// Wrapping subtraction.
+    #[must_use]
+    pub fn wrapping_sub(&self, rhs: &Self) -> Self {
+        Self {
+            bits: self.bits.wrapping_sub(&rhs.bits),
+        }
+    }
+
+    /// Absolute difference `|self − rhs|` as an unsigned integer — the
+    /// error-distance primitive of the signed metrics.
+    #[must_use]
+    pub fn abs_diff(&self, rhs: &Self) -> U256 {
+        if self >= rhs {
+            self.bits.wrapping_sub(&rhs.bits)
+        } else {
+            rhs.bits.wrapping_sub(&self.bits)
+        }
+    }
+
+    /// Nearest `f64` (sign applied to the magnitude's conversion).
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        let mag = self.magnitude().to_f64();
+        if self.is_negative() {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+impl Ord for I256 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Flipping the sign bit turns two's-complement order into
+        // unsigned order.
+        let mut a = self.bits;
+        let mut b = other.bits;
+        a.set_bit(255, !a.bit(255));
+        b.set_bit(255, !b.bit(255));
+        a.cmp(&b)
+    }
+}
+
+impl PartialOrd for I256 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl From<i128> for I256 {
+    fn from(value: i128) -> Self {
+        Self::from_i128(value)
+    }
+}
+
+impl fmt::Display for I256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "-{}", self.magnitude())
+        } else {
+            write!(f, "{}", self.bits)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i128_round_trip_covers_extremes() {
+        for v in [0i128, 1, -1, 42, -42, i128::MAX, i128::MIN, i128::MIN + 1] {
+            let wide = I256::from_i128(v);
+            assert_eq!(wide.to_i128(), Some(v), "value {v}");
+            assert_eq!(wide.is_negative(), v < 0);
+            assert_eq!(wide.to_string(), v.to_string());
+        }
+    }
+
+    #[test]
+    fn magnitude_of_min_is_exact() {
+        let min = I256::from_i128(i128::MIN);
+        assert_eq!(min.magnitude(), U256::from_u128(1) << 127);
+        assert_eq!(min.to_f64(), -(2f64.powi(127)));
+    }
+
+    #[test]
+    fn sign_magnitude_construction() {
+        let m = U256::from_u64(500);
+        assert_eq!(I256::from_sign_magnitude(&m, false).to_i128(), Some(500));
+        assert_eq!(I256::from_sign_magnitude(&m, true).to_i128(), Some(-500));
+        assert_eq!(
+            I256::from_sign_magnitude(&U256::ZERO, true),
+            I256::ZERO,
+            "negative zero normalizes"
+        );
+        // The extreme magnitude 2^255 is representable only negated.
+        let extreme = U256::from_u64(1) << 255;
+        let v = I256::from_sign_magnitude(&extreme, true);
+        assert!(v.is_negative());
+        assert_eq!(v.magnitude(), extreme);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows I256")]
+    fn positive_extreme_magnitude_panics() {
+        let extreme = U256::from_u64(1) << 255;
+        let _ = I256::from_sign_magnitude(&extreme, false);
+    }
+
+    #[test]
+    fn twos_complement_sign_extension() {
+        // 0xF at width 4 is -1; at width 5 it is +15.
+        let raw = U256::from_u64(0xF);
+        assert_eq!(I256::from_twos_complement(&raw, 4).to_i128(), Some(-1));
+        assert_eq!(I256::from_twos_complement(&raw, 5).to_i128(), Some(15));
+        // Full-width patterns pass through.
+        let neg = I256::from_i128(-123);
+        assert_eq!(
+            I256::from_twos_complement(&neg.to_twos_complement(), 256),
+            neg
+        );
+    }
+
+    #[test]
+    fn to_i128_rejects_wide_values() {
+        let big = I256::from_sign_magnitude(&(U256::from_u64(1) << 200), false);
+        assert_eq!(big.to_i128(), None);
+        assert_eq!(big.wrapping_neg().to_i128(), None);
+        // One past i128::MIN in magnitude.
+        let just_over = I256::from_sign_magnitude(&(U256::from_u64(1) << 127), false);
+        assert_eq!(just_over.to_i128(), None);
+        assert_eq!(just_over.wrapping_neg().to_i128(), Some(i128::MIN));
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = I256::from_i128(-100);
+        let b = I256::from_i128(30);
+        assert_eq!(a.wrapping_add(&b).to_i128(), Some(-70));
+        assert_eq!(a.wrapping_sub(&b).to_i128(), Some(-130));
+        assert_eq!(a.wrapping_neg().to_i128(), Some(100));
+        assert_eq!(a.abs_diff(&b), U256::from_u64(130));
+        assert_eq!(b.abs_diff(&a), U256::from_u64(130));
+        assert!(a < b);
+        assert!(I256::from_i128(-2) < I256::from_i128(-1));
+        assert!(I256::from_i128(1) > I256::from_i128(-1));
+        assert_eq!(I256::from(5i128).to_f64(), 5.0);
+        assert_eq!(I256::from(-5i128).to_f64(), -5.0);
+    }
+}

@@ -3,24 +3,29 @@
 //! ```console
 //! $ sdlc-cli errors --width 8 --depth 2
 //! $ sdlc-cli errors --width 8 --depths 4,2,2
+//! $ sdlc-cli errors --width 8 --signed --engine bitsliced
+//! $ sdlc-cli sobel --depth 3 --size 128,128 --out edges/
 //! $ sdlc-cli synth --width 16 --depth 3 --scheme wallace
-//! $ sdlc-cli verilog --width 8 --depth 2 --out sdlc8.v
+//! $ sdlc-cli verilog --width 8 --depth 2 --signed --out signed_sdlc8.v
 //! $ sdlc-cli dot --width 8 --depth 3
 //! ```
 //!
-//! Subcommands: `errors` (error metrics), `synth` (area/power/delay
-//! report + savings vs accurate), `verilog` (structural export), `dot`
-//! (dot-notation diagram), `help`.
+//! Subcommands: `errors` (error metrics, unsigned or `--signed`),
+//! `sobel` (edge detection through approximate signed multipliers),
+//! `synth` (area/power/delay report + savings vs accurate), `verilog`
+//! (structural export, optionally `--signed`), `dot` (dot-notation
+//! diagram), `help`.
 
 use std::process::ExitCode;
 
 use sdlc::core::circuits::{accurate_multiplier, sdlc_multiplier, ReductionScheme};
 use sdlc::core::error::{
-    exhaustive_with_engine, mean_error_distance, sampled_with_engine, Engine,
-    BITSLICED_EXHAUSTIVE_WIDTH_LIMIT,
+    exhaustive_signed_with_engine, exhaustive_with_engine, mean_error_distance,
+    sampled_signed_with_engine, sampled_with_engine, Engine, BITSLICED_EXHAUSTIVE_WIDTH_LIMIT,
 };
 use sdlc::core::matrix::ReducedMatrix;
-use sdlc::core::{ClusterVariant, Multiplier, SdlcMultiplier};
+use sdlc::core::{ClusterVariant, Multiplier, SdlcMultiplier, SignMagnitude, SignedMultiplier};
+use sdlc::imgproc::{psnr, scenes, scharr_magnitude, sobel_magnitude, write_pgm};
 use sdlc::netlist::{passes, to_verilog};
 use sdlc::synth::{analyze, AnalysisOptions};
 use sdlc::techlib::Library;
@@ -33,13 +38,15 @@ USAGE:
 
 COMMANDS:
   errors    error metrics (exhaustive <=12 bits, Monte-Carlo above)
+  sobel     Sobel edge detection through approximate signed multipliers
   synth     synthesis-style report and savings vs the accurate design
   verilog   export the multiplier as structural Verilog
   dot       print the reduced partial-product matrix in dot notation
   help      show this text
 
 OPTIONS:
-  --width N        operand width (even, 2..=128; default 8)
+  --width N        operand width (even, 2..=128; default 8;
+                   `sobel` needs >=10 and defaults to 16)
   --depth D        uniform cluster depth (default 2)
   --depths A,B,..  heterogeneous cluster depths (sum = width)
   --variant V      prog | ceiltails | pairtails | fullor (default prog)
@@ -47,21 +54,28 @@ OPTIONS:
   --engine E       scalar | bitsliced (default scalar) — bitsliced packs
                    64 multiplications into word-wide bit-plane ops and
                    sweeps exhaustively up to 20 bits (2^40 pairs)
+  --signed         evaluate the signed (two's-complement) sign-magnitude
+                   wrapping of the design: `errors` sweeps the signed
+                   operand range with signed ED/RED statistics
   --samples K      Monte-Carlo samples for wide widths (default 2^22)
-  --out FILE       output path for `verilog` (default stdout)
+  --size W,H       scene size for `sobel` (default 200,200)
+  --out PATH       output path for `verilog` (default stdout); for
+                   `sobel`, a directory receiving the PGM before/after set
   --lib FILE       cell library in sdlc-techlib text format
                    (default: built-in generic 90 nm)
 ";
 
 #[derive(Debug)]
 struct Options {
-    width: u32,
+    width: Option<u32>,
     depth: u32,
     depths: Option<Vec<u32>>,
     variant: ClusterVariant,
     scheme: ReductionScheme,
     engine: Engine,
+    signed: bool,
     samples: u64,
+    size: (u32, u32),
     out: Option<String>,
     lib: Option<String>,
 }
@@ -69,16 +83,28 @@ struct Options {
 impl Default for Options {
     fn default() -> Self {
         Self {
-            width: 8,
+            width: None,
             depth: 2,
             depths: None,
             variant: ClusterVariant::Progressive,
             scheme: ReductionScheme::RippleRows,
             engine: Engine::Scalar,
+            signed: false,
             samples: 1 << 22,
+            size: (200, 200),
             out: None,
             lib: None,
         }
+    }
+}
+
+impl Options {
+    /// Operand width: explicit `--width`, else the command default (8
+    /// everywhere; 16 for `sobel`, whose pixel×tap products need the
+    /// headroom).
+    fn width(&self, command: &str) -> u32 {
+        self.width
+            .unwrap_or(if command == "sobel" { 16 } else { 8 })
     }
 }
 
@@ -93,7 +119,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         };
         match flag.as_str() {
             "--width" => {
-                options.width = value()?.parse().map_err(|e| format!("bad --width: {e}"))?;
+                options.width = Some(value()?.parse().map_err(|e| format!("bad --width: {e}"))?);
             }
             "--depth" => {
                 options.depth = value()?.parse().map_err(|e| format!("bad --depth: {e}"))?;
@@ -124,6 +150,22 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--engine" => {
                 options.engine = value()?.parse()?;
             }
+            "--signed" => options.signed = true,
+            "--size" => {
+                let list = value()?;
+                let parts: Vec<&str> = list.split(',').collect();
+                let parse = |s: &str| {
+                    s.parse::<u32>()
+                        .map_err(|e| format!("bad --size {list:?}: {e}"))
+                };
+                match parts.as_slice() {
+                    [w, h] => options.size = (parse(w)?, parse(h)?),
+                    _ => return Err(format!("bad --size {list:?}: expected W,H")),
+                }
+                if options.size.0 == 0 || options.size.1 == 0 {
+                    return Err(format!("bad --size {list:?}: dimensions must be positive"));
+                }
+            }
             "--samples" => {
                 options.samples = value()?
                     .parse()
@@ -137,44 +179,119 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(options)
 }
 
-fn build_model(options: &Options) -> Result<SdlcMultiplier, String> {
+fn build_model(options: &Options, width: u32) -> Result<SdlcMultiplier, String> {
     let model = match &options.depths {
-        Some(depths) => SdlcMultiplier::with_group_depths(options.width, depths),
-        None => SdlcMultiplier::with_variant(options.width, options.depth, options.variant),
+        Some(depths) => SdlcMultiplier::with_group_depths(width, depths),
+        None => SdlcMultiplier::with_variant(width, options.depth, options.variant),
     };
     model.map_err(|e| e.to_string())
 }
 
 fn cmd_errors(options: &Options) -> Result<(), String> {
-    let model = build_model(options)?;
-    println!("design {} (engine {})", model.name(), options.engine);
+    let width = options.width("errors");
+    let model = build_model(options, width)?;
     // The bit-sliced engine makes full sweeps cheap enough to exhaust
     // everything up to its 20-bit driver ceiling (the paper's entire
     // synthesized range is ≤16); the scalar path keeps its 12-bit
-    // practicality cutoff.
+    // practicality cutoff. Signed sweeps cover the same 2^{2N} pattern
+    // space, so the cutoffs carry over.
     let exhaustive_cutoff = match options.engine {
         Engine::Scalar => 12,
         Engine::BitSliced => BITSLICED_EXHAUSTIVE_WIDTH_LIMIT,
     };
-    let metrics = if options.width <= exhaustive_cutoff {
-        exhaustive_with_engine(&model, options.engine).map_err(|e| e.to_string())?
+    let metrics = if options.signed {
+        let signed = SignMagnitude::new(model.clone());
+        println!("design {} (engine {})", signed.name(), options.engine);
+        if width <= exhaustive_cutoff {
+            exhaustive_signed_with_engine(&signed, options.engine).map_err(|e| e.to_string())?
+        } else {
+            sampled_signed_with_engine(&signed, options.samples, 0x5D1C, options.engine)
+                .map_err(|e| e.to_string())?
+        }
     } else {
-        sampled_with_engine(&model, options.samples, 0x5D1C, options.engine)
-            .map_err(|e| e.to_string())?
+        println!("design {} (engine {})", model.name(), options.engine);
+        if width <= exhaustive_cutoff {
+            exhaustive_with_engine(&model, options.engine).map_err(|e| e.to_string())?
+        } else {
+            sampled_with_engine(&model, options.samples, 0x5D1C, options.engine)
+                .map_err(|e| e.to_string())?
+        }
     };
     println!("{metrics}");
-    if metrics.samples < 1u64 << (2 * options.width.min(32)) {
+    // Sampled runs cover fewer than the 2^{2N} pairs of the domain; at
+    // width ≥ 32 that pair count overflows u64, so any sample count is
+    // partial by definition.
+    if width >= 32 || metrics.samples < 1u64 << (2 * width) {
         println!(
             "(Monte-Carlo; 95% CI: MRED ±{:.5}pp, ER ±{:.4}pp)",
             1.96 * metrics.mred_std_error * 100.0,
             1.96 * metrics.er_std_error * 100.0
         );
     }
+    if let Some((a, b)) = metrics.worst_red_operands_signed() {
+        println!("worst RED at ({a}, {b})");
+    }
+    if !options.signed {
+        println!(
+            "analytic MED = {:.4} (model, no simulation; simulated {:.4})",
+            mean_error_distance(&model),
+            metrics.med
+        );
+    }
+    Ok(())
+}
+
+fn cmd_sobel(options: &Options) -> Result<(), String> {
+    let width = options.width("sobel");
+    if !(10..=32).contains(&width) {
+        return Err(format!(
+            "sobel needs a signed multiplier of 10..=32 bits \
+             (pixel×tap products through the i64 fast path), got --width {width}"
+        ));
+    }
+    let model = build_model(options, width)?;
+    let approx = SignMagnitude::new(model);
+    let exact =
+        SignMagnitude::new(sdlc::core::AccurateMultiplier::new(width).map_err(|e| e.to_string())?);
+    let (w, h) = options.size;
+    let image = scenes::blobs(w, h, 7);
     println!(
-        "analytic MED = {:.4} (model, no simulation; simulated {:.4})",
-        mean_error_distance(&model),
-        metrics.med
+        "gradient magnitude {}×{} through {} (reference {})",
+        w,
+        h,
+        approx.name(),
+        exact.name()
     );
+    let sobel_ref = sobel_magnitude(&image, &exact);
+    let sobel_approx = sobel_magnitude(&image, &approx);
+    let scharr_ref = scharr_magnitude(&image, &exact);
+    let scharr_approx = scharr_magnitude(&image, &approx);
+    // Sobel's ±1/±2 taps are powers of two — exact through SDLC (∞ dB);
+    // Scharr's ±3/±10 taps collide in compressed clusters.
+    println!("  sobel  PSNR {:>8.2} dB", psnr(&sobel_ref, &sobel_approx));
+    println!(
+        "  scharr PSNR {:>8.2} dB",
+        psnr(&scharr_ref, &scharr_approx)
+    );
+    if let Some(dir) = &options.out {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        let save = |img: &sdlc::imgproc::GrayImage, name: &str| -> Result<(), String> {
+            let path = dir.join(name);
+            let mut file = std::fs::File::create(&path)
+                .map_err(|e| format!("creating {}: {e}", path.display()))?;
+            write_pgm(img, &mut file).map_err(|e| format!("writing {}: {e}", path.display()))
+        };
+        save(&image, "input.pgm")?;
+        save(&sobel_ref, "sobel_exact.pgm")?;
+        save(&sobel_approx, &format!("sobel_{}.pgm", approx.name()))?;
+        save(&scharr_ref, "scharr_exact.pgm")?;
+        save(&scharr_approx, &format!("scharr_{}.pgm", approx.name()))?;
+        println!(
+            "wrote input + exact/approximate edge maps to {}",
+            dir.display()
+        );
+    }
     Ok(())
 }
 
@@ -189,15 +306,22 @@ fn load_library(options: &Options) -> Result<Library, String> {
 }
 
 fn cmd_synth(options: &Options) -> Result<(), String> {
-    let model = build_model(options)?;
+    let width = options.width("synth");
+    let model = build_model(options, width)?;
     let lib = load_library(options)?;
     let analysis = AnalysisOptions::default();
-    let exact = analyze(
-        accurate_multiplier(options.width, options.scheme).map_err(|e| e.to_string())?,
-        &lib,
-        &analysis,
-    );
-    let report = analyze(sdlc_multiplier(&model, options.scheme), &lib, &analysis);
+    let accurate = accurate_multiplier(width, options.scheme).map_err(|e| e.to_string())?;
+    let approx = sdlc_multiplier(&model, options.scheme);
+    let (accurate, approx) = if options.signed {
+        (
+            sdlc::core::circuits::signed_multiplier(&accurate, width),
+            sdlc::core::circuits::signed_multiplier(&approx, width),
+        )
+    } else {
+        (accurate, approx)
+    };
+    let exact = analyze(accurate, &lib, &analysis);
+    let report = analyze(approx, &lib, &analysis);
     print!("{exact}");
     print!("{report}");
     println!("savings vs accurate: {}", report.reduction_vs(&exact));
@@ -205,8 +329,12 @@ fn cmd_synth(options: &Options) -> Result<(), String> {
 }
 
 fn cmd_verilog(options: &Options) -> Result<(), String> {
-    let model = build_model(options)?;
+    let width = options.width("verilog");
+    let model = build_model(options, width)?;
     let mut netlist = sdlc_multiplier(&model, options.scheme);
+    if options.signed {
+        netlist = sdlc::core::circuits::signed_multiplier(&netlist, width);
+    }
     passes::optimize(&mut netlist);
     let text = to_verilog(&netlist);
     match &options.out {
@@ -220,7 +348,14 @@ fn cmd_verilog(options: &Options) -> Result<(), String> {
 }
 
 fn cmd_dot(options: &Options) -> Result<(), String> {
-    let model = build_model(options)?;
+    if options.signed {
+        return Err(
+            "dot draws the unsigned partial-product matrix; the signed wrapper adds no dots \
+             (drop --signed)"
+                .into(),
+        );
+    }
+    let model = build_model(options, options.width("dot"))?;
     let matrix = ReducedMatrix::from_multiplier(&model);
     println!(
         "{} — {} rows, critical column {}, {} compressed bits",
@@ -243,6 +378,7 @@ fn main() -> ExitCode {
         Err(e) => Err(e),
         Ok(options) => match command.as_str() {
             "errors" => cmd_errors(&options),
+            "sobel" => cmd_sobel(&options),
             "synth" => cmd_synth(&options),
             "verilog" => cmd_verilog(&options),
             "dot" => cmd_dot(&options),

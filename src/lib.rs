@@ -18,7 +18,13 @@
 //! | [`techlib`] | `sdlc-techlib` | synthetic 90 nm standard-cell library |
 //! | [`sim`] | `sdlc-sim` | levelized / bit-parallel / event-driven simulation |
 //! | [`synth`] | `sdlc-synth` | STA, power/area/energy reports |
-//! | [`imgproc`] | `sdlc-imgproc` | Gaussian-blur case study substrate |
+//! | [`imgproc`] | `sdlc-imgproc` | Gaussian-blur and Sobel/Scharr case-study substrate |
+//!
+//! The stack is *signed-complete*: `core::SignMagnitude` lifts any
+//! unsigned multiplier to two's complement (with bit-sliced twins and
+//! signed error drivers), `netlist::signed` wraps any generated array in
+//! sign/magnitude periphery, `sim::equiv` checks the two against each
+//! other, and `imgproc`'s Sobel/Scharr pipelines consume the result.
 //!
 //! # Quickstart
 //!
@@ -34,9 +40,9 @@
 //! ```
 //!
 //! See `examples/` for end-to-end walkthroughs (quickstart, dot-notation
-//! diagrams, synthesis reports, the Gaussian-blur study) and
-//! `crates/bench/benches/` for the per-table/figure reproduction
-//! harnesses.
+//! diagrams, synthesis reports, the Gaussian-blur study, the signed
+//! Sobel/Scharr edge-detection workload) and `crates/bench/benches/` for
+//! the per-table/figure reproduction harnesses.
 
 pub use sdlc_core as core;
 pub use sdlc_imgproc as imgproc;

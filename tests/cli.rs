@@ -58,6 +58,117 @@ fn errors_supports_the_bitsliced_engine() {
 }
 
 #[test]
+fn errors_supports_the_signed_domain_on_both_engines() {
+    // Same signed sweep through the scalar and bit-sliced engines.
+    let (scalar, _, ok) = run(&["errors", "--width", "8", "--depth", "2", "--signed"]);
+    assert!(ok);
+    assert!(scalar.contains("signed_sdlc8_d2"), "{scalar}");
+    assert!(scalar.contains("engine scalar"), "{scalar}");
+    assert!(scalar.contains("samples, signed"), "{scalar}");
+    assert!(scalar.contains("worst RED at ("), "{scalar}");
+    let (bitsliced, _, ok) = run(&[
+        "errors",
+        "--width",
+        "8",
+        "--depth",
+        "2",
+        "--signed",
+        "--engine",
+        "bitsliced",
+    ]);
+    assert!(ok);
+    assert!(bitsliced.contains("engine bitsliced"), "{bitsliced}");
+    // Identical metrics line (bit-identical engines).
+    let metrics_of = |s: &str| {
+        s.lines()
+            .find(|l| l.contains("MRED"))
+            .map(str::to_owned)
+            .expect("metrics line")
+    };
+    assert_eq!(metrics_of(&scalar), metrics_of(&bitsliced));
+}
+
+#[test]
+fn wide_sampled_runs_report_their_confidence_interval() {
+    // Width ≥ 32: the 2^{2N} pair count overflows u64, which used to
+    // overflow the partial-coverage shift; the CI line must print and
+    // the run must not panic.
+    let (stdout, _, ok) = run(&["errors", "--width", "32", "--samples", "1000"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("Monte-Carlo; 95% CI"), "{stdout}");
+}
+
+#[test]
+fn signed_flag_validation() {
+    // --signed with a bad engine still reports the engine error.
+    let (_, stderr, ok) = run(&["errors", "--signed", "--engine", "warp"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown engine"), "{stderr}");
+    // --signed is meaningless for dot and is rejected with guidance.
+    let (_, stderr, ok) = run(&["dot", "--width", "8", "--signed"]);
+    assert!(!ok);
+    assert!(stderr.contains("drop --signed"), "{stderr}");
+    // Width validation still fires under --signed.
+    let (_, stderr, ok) = run(&["errors", "--width", "9", "--signed"]);
+    assert!(!ok);
+    assert!(stderr.contains("even"), "{stderr}");
+}
+
+#[test]
+fn sobel_command_runs_and_validates() {
+    let (stdout, _, ok) = run(&["sobel", "--depth", "3", "--size", "48,48"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("signed_sdlc16_d3"), "{stdout}");
+    assert!(stdout.contains("sobel  PSNR"), "{stdout}");
+    assert!(stdout.contains("scharr PSNR"), "{stdout}");
+    // Narrow widths cannot hold pixel×tap products; wide ones exceed the
+    // i64 fast path. Both fail as CLI errors, not panics.
+    for width in ["8", "34"] {
+        let (_, stderr, ok) = run(&["sobel", "--width", width]);
+        assert!(!ok);
+        assert!(stderr.contains("10..=32 bits"), "width {width}: {stderr}");
+    }
+    // Size validation.
+    let (_, stderr, ok) = run(&["sobel", "--size", "64"]);
+    assert!(!ok);
+    assert!(stderr.contains("expected W,H"), "{stderr}");
+    let (_, stderr, ok) = run(&["sobel", "--size", "0,64"]);
+    assert!(!ok);
+    assert!(stderr.contains("positive"), "{stderr}");
+}
+
+#[test]
+fn sobel_writes_the_pgm_set() {
+    let dir = std::env::temp_dir().join("sdlc_cli_sobel");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (stdout, _, ok) = run(&["sobel", "--size", "32,32", "--out", dir.to_str().unwrap()]);
+    assert!(ok, "{stdout}");
+    for name in [
+        "input.pgm",
+        "sobel_exact.pgm",
+        "sobel_signed_sdlc16_d2.pgm",
+        "scharr_exact.pgm",
+        "scharr_signed_sdlc16_d2.pgm",
+    ] {
+        assert!(dir.join(name).exists(), "missing {name}");
+    }
+}
+
+#[test]
+fn verilog_exports_the_signed_wrapper() {
+    let dir = std::env::temp_dir().join("sdlc_cli_signed_v");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("signed.v");
+    let path_str = path.to_str().unwrap();
+    let (_, _, ok) = run(&[
+        "verilog", "--width", "4", "--depth", "2", "--signed", "--out", path_str,
+    ]);
+    assert!(ok);
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("module signed_sdlc4_d2_ripple"), "{text}");
+}
+
+#[test]
 fn unknown_engine_is_rejected() {
     let (_, stderr, ok) = run(&["errors", "--width", "8", "--engine", "turbo"]);
     assert!(!ok);

@@ -23,6 +23,32 @@ fn facade_reexports_resolve() {
     let _: sdlc::wideint::U256 = sdlc::wideint::U256::from_u64(1);
 }
 
+/// The signed subsystem's headline types resolve through the facade at
+/// every layer: wideint, core (word-level + batch + error + circuits),
+/// netlist, sim and imgproc.
+#[test]
+fn signed_facade_reexports_resolve() {
+    use sdlc::core::{SignMagnitude, SignedMultiplier};
+
+    let _: sdlc::wideint::I256 = sdlc::wideint::I256::from_i128(-1);
+    let signed = SignMagnitude::new(SdlcMultiplier::new(8, 2).unwrap());
+    assert_eq!(signed.name(), "signed_sdlc8_d2");
+    let _: sdlc::core::batch::BatchSignMagnitude<_> = signed.batch_model();
+    let metrics = sdlc::core::error::exhaustive_signed(&signed).unwrap();
+    assert!(metrics.signed);
+    let netlist = sdlc::core::circuits::signed_sdlc_multiplier(
+        signed.inner(),
+        sdlc::core::circuits::ReductionScheme::RippleRows,
+    );
+    sdlc::sim::equiv::check_sampled_signed(&netlist, 8, 50, 1, |a, b| signed.multiply_signed(a, b))
+        .unwrap();
+    let image = sdlc::imgproc::scenes::bars(16, 16);
+    let _: sdlc::imgproc::GrayImage = sdlc::imgproc::sobel_magnitude(
+        &image,
+        &SignMagnitude::new(AccurateMultiplier::new(16).unwrap()),
+    );
+}
+
 /// The deep re-export path named in the crate docs keeps working.
 #[test]
 fn error_exhaustive_path_resolves() {
