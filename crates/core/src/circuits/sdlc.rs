@@ -99,7 +99,9 @@ mod tests {
     use super::*;
     use crate::ClusterVariant;
     use sdlc_netlist::GateKind;
-    use sdlc_sim::equiv::{check_exhaustive, check_sampled};
+    use sdlc_sim::equiv::{check_exhaustive, check_exhaustive_with_engine, check_sampled};
+    use sdlc_sim::Engine;
+    use sdlc_wideint::U256;
 
     #[test]
     fn matches_functional_model_exhaustively_8bit() {
@@ -107,9 +109,24 @@ mod tests {
             let model = SdlcMultiplier::new(8, depth).unwrap();
             let n = sdlc_multiplier(&model, ReductionScheme::RippleRows);
             n.validate().unwrap();
-            check_exhaustive(&n, 8, |a, b| model.multiply(a, b))
+            check_exhaustive_with_engine(&n, 8, |a, b| model.multiply(a, b), Engine::Compiled)
                 .unwrap_or_else(|e| panic!("depth {depth}: {e}"));
         }
+    }
+
+    #[test]
+    fn matches_functional_model_exhaustively_10bit() {
+        // The compiled word-parallel engine makes the 2^20-pair sweep
+        // routine (the scalar cap used to be 8 bits).
+        let model = SdlcMultiplier::new(10, 2).unwrap();
+        let n = sdlc_multiplier(&model, ReductionScheme::RippleRows);
+        check_exhaustive_with_engine(
+            &n,
+            10,
+            |a, b| U256::from_u128(model.multiply_u64(a as u64, b as u64)),
+            Engine::Compiled,
+        )
+        .unwrap();
     }
 
     #[test]

@@ -120,57 +120,13 @@ fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-/// Splits `[0, count)` into at most `threads` contiguous chunks and runs
-/// `worker(lo, hi)` on scoped threads, returning the partial results in
-/// chunk order. Every exhaustive driver (scalar and bit-sliced, metrics
-/// and histogram) partitions and merges through this one function — the
-/// chunk formula and merge order are part of the engines' bit-identity
-/// contract, so they must never diverge between paths.
-pub(crate) fn parallel_chunks<T, F>(count: u64, threads: usize, worker: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(u64, u64) -> T + Sync,
-{
-    let threads = threads.min(count as usize).max(1);
-    let chunk = count.div_ceil(threads as u64);
-    let worker = &worker;
-    let mut partials = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let lo = t as u64 * chunk;
-                let hi = (lo + chunk).min(count);
-                scope.spawn(move || worker(lo, hi))
-            })
-            .collect();
-        for handle in handles {
-            partials.push(handle.join().expect("worker panicked"));
-        }
-    });
-    partials
-}
-
-/// The samplers' equivalent: splits the fixed shard list into at most
-/// `threads` contiguous runs and hands each run to `worker`.
-pub(crate) fn parallel_shard_chunks<T, F>(shards: &[u64], threads: usize, worker: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(&[u64]) -> T + Sync,
-{
-    let chunk = shards.len().div_ceil(threads).max(1);
-    let worker = &worker;
-    let mut partials = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = shards
-            .chunks(chunk)
-            .map(|run| scope.spawn(move || worker(run)))
-            .collect();
-        for handle in handles {
-            partials.push(handle.join().expect("worker panicked"));
-        }
-    });
-    partials
-}
+/// Every exhaustive driver (scalar and bit-sliced, metrics and histogram)
+/// partitions and merges through the one shared splitter in
+/// `sdlc-wideint` — the chunk formula and merge order are part of the
+/// engines' bit-identity contract, so they must never diverge between
+/// paths (the compiled-engine equivalence checks in `sdlc-sim` shard the
+/// same way, through the same function).
+pub(crate) use sdlc_wideint::parallel::{parallel_chunks, parallel_shard_chunks};
 
 /// Exhaustively evaluates every operand pair of an `N ≤ 16` bit multiplier
 /// using all available cores.

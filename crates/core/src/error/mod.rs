@@ -39,6 +39,10 @@ pub use evaluate::{
 };
 pub use histogram::{RedHistogram, RED_HISTOGRAM_BINS};
 pub use metrics::{ErrorAccumulator, ErrorMetrics};
+// The deterministic work splitter every parallel driver shards through —
+// re-exported so downstream sweeps (benches, external tools) can partition
+// work the exact same way and inherit the bit-identity guarantees.
+pub use sdlc_wideint::parallel::{parallel_chunks, parallel_shard_chunks};
 pub use signed::{
     exhaustive_signed, exhaustive_signed_bitsliced, exhaustive_signed_bitsliced_with_threads,
     exhaustive_signed_with_engine, exhaustive_signed_with_threads, sampled_signed,

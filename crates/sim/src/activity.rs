@@ -3,17 +3,22 @@
 //! Dynamic power estimation needs per-net toggle statistics under a
 //! representative workload. [`random_activity`] drives a netlist with a
 //! deterministic uniform stream (the paper's setting: operands drawn
-//! uniformly, as in its exhaustive error analysis) through the bit-parallel
-//! engine; [`timing_activity`] does the same through the event-driven
-//! engine to include glitch power (practical up to mid-size multipliers).
+//! uniformly, as in its exhaustive error analysis) through a zero-delay
+//! 64-lane engine — by default the compiled program, which produces
+//! toggle totals bit-identical to the structural [`BitParallelSim`]
+//! (select explicitly via [`random_activity_with_engine`]);
+//! [`timing_activity`] does the same through the event-driven engine to
+//! include glitch power (practical up to mid-size multipliers).
 
 use sdlc_netlist::Netlist;
 use sdlc_techlib::Library;
 use sdlc_wideint::SplitMix64;
 
+use crate::compile::{CompiledNetlist, CompiledSim};
 use crate::logic::ab_stimulus;
 use crate::parallel::BitParallelSim;
 use crate::timing::TimingSim;
+use crate::Engine;
 
 /// Per-net switching activity of one stimulus run.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,27 +50,68 @@ impl Activity {
 }
 
 /// Runs `vectors` uniformly random input vectors (rounded up to a multiple
-/// of 64) through the bit-parallel zero-delay engine.
+/// of 64) through the compiled zero-delay engine — the fast path the
+/// `sdlc-synth` power flow rides.
 ///
-/// Deterministic in `(netlist, seed, vectors)`.
+/// Deterministic in `(netlist, seed, vectors)`, and bit-identical to the
+/// structural engine ([`random_activity_with_engine`] with
+/// [`Engine::Scalar`]): same stimulus stream, same lane-wise toggle
+/// convention, identical per-net totals.
 ///
 /// # Panics
 ///
 /// Panics if `vectors == 0`.
 #[must_use]
 pub fn random_activity(netlist: &Netlist, seed: u64, vectors: u64) -> Activity {
+    random_activity_with_engine(netlist, seed, vectors, Engine::Compiled)
+}
+
+/// [`random_activity`] with an explicit engine choice: [`Engine::Scalar`]
+/// walks the netlist structure per sweep ([`BitParallelSim`], the
+/// differential reference), [`Engine::Compiled`] streams the flattened
+/// program. Toggle totals are bit-identical either way.
+///
+/// # Panics
+///
+/// Panics if `vectors == 0`.
+#[must_use]
+pub fn random_activity_with_engine(
+    netlist: &Netlist,
+    seed: u64,
+    vectors: u64,
+    engine: Engine,
+) -> Activity {
     assert!(vectors > 0, "need at least one vector");
     let words = vectors.div_ceil(64) + 1; // +1: first word establishes state
     let mut rng = SplitMix64::new(seed);
-    let mut sim = BitParallelSim::new(netlist);
     let width = netlist.inputs().len();
-    for _ in 0..words {
-        let stimulus: Vec<u64> = (0..width).map(|_| rng.next_u64()).collect();
-        sim.apply(&stimulus);
-    }
+    let mut stimulus = vec![0u64; width];
+    let mut draw = move || {
+        for word in &mut stimulus {
+            *word = rng.next_u64();
+        }
+        stimulus.clone()
+    };
+    let (toggles_per_net, transition_count) = match engine {
+        Engine::Scalar => {
+            let mut sim = BitParallelSim::new(netlist);
+            for _ in 0..words {
+                sim.apply(&draw());
+            }
+            (sim.toggles().to_vec(), sim.transition_vectors())
+        }
+        Engine::Compiled => {
+            let program = CompiledNetlist::compile(netlist);
+            let mut sim = CompiledSim::new(&program);
+            for _ in 0..words {
+                sim.apply(&draw());
+            }
+            (sim.toggles_per_net(), sim.transition_vectors())
+        }
+    };
     Activity {
-        toggles_per_net: sim.toggles().to_vec(),
-        transition_count: sim.transition_vectors(),
+        toggles_per_net,
+        transition_count,
         includes_glitches: false,
     }
 }
@@ -161,6 +207,15 @@ mod tests {
         let s = ripple_add(&mut n, &a, &b);
         n.set_output_bus("p", s);
         n
+    }
+
+    #[test]
+    fn engines_produce_identical_activity() {
+        let n = adder(8);
+        let compiled = random_activity_with_engine(&n, 42, 256, Engine::Compiled);
+        let structural = random_activity_with_engine(&n, 42, 256, Engine::Scalar);
+        assert_eq!(compiled, structural);
+        assert_eq!(compiled, random_activity(&n, 42, 256));
     }
 
     #[test]

@@ -1,0 +1,463 @@
+//! Compiled netlist evaluation: flatten once, sweep word-wide.
+//!
+//! The structural engines ([`crate::LogicSim`], [`crate::BitParallelSim`])
+//! re-walk the [`Netlist`] for every vector: per-gate enum dispatch, a
+//! `NetId` indirection per pin, and (for the scalar engine) bounds checks
+//! against the full net table. [`CompiledNetlist`] pays those costs once,
+//! at compile time, producing a dense struct-of-arrays program the
+//! executor can stream through:
+//!
+//! * **Constant folding** — `Const0`/`Const1` gates become two reserved
+//!   value slots (always `0` / all-ones); no opcode is emitted for them.
+//! * **Buffer chasing** — a `Buf` gate emits no opcode either: its output
+//!   net aliases its source's slot, and chains collapse transitively.
+//! * **Pre-mapped ports** — primary inputs get dedicated slots in
+//!   declaration order, so stimulus words are written straight into the
+//!   value array; any net (including bus bits) resolves to its slot once
+//!   via [`CompiledNetlist::slot_of`].
+//!
+//! The executor, [`CompiledSim`], evaluates 64 independent vectors per
+//! sweep exactly like [`crate::BitParallelSim`] — lane `i` of every value
+//! word is stimulus stream `i` — but its inner loop reads compact opcodes
+//! and `u32` slot indices from flat arrays instead of matching on gate
+//! structs. [`CompiledSim::apply`] keeps the same lane-wise toggle
+//! accounting (bit-identical per-net totals, proven by the differential
+//! suite); [`CompiledSim::evaluate`] skips it for equivalence sweeps where
+//! only final values matter.
+
+use sdlc_netlist::{GateKind, NetId, Netlist};
+
+/// Slot holding the folded constant-0 plane.
+const SLOT_CONST0: u32 = 0;
+/// Slot holding the folded constant-1 plane.
+const SLOT_CONST1: u32 = 1;
+
+/// Compact opcode of one compiled operation.
+///
+/// `Input`, `Const0`, `Const1` and `Buf` never appear: inputs are written
+/// directly into their slots, constants fold into the two reserved slots,
+/// and buffers alias their source slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum OpCode {
+    And,
+    Or,
+    Nand,
+    Nor,
+    Xor,
+    Xnor,
+    Not,
+    Mux,
+}
+
+/// A [`Netlist`] flattened into a dense, cache-friendly program.
+///
+/// Compiling borrows the netlist only for the duration of
+/// [`CompiledNetlist::compile`]; the program owns everything it needs, so
+/// one compiled instance can be shared (`&CompiledNetlist` is `Sync`)
+/// across worker threads that each run their own [`CompiledSim`].
+///
+/// # Examples
+///
+/// ```
+/// use sdlc_netlist::Netlist;
+/// use sdlc_sim::{CompiledNetlist, CompiledSim};
+///
+/// let mut n = Netlist::new("and");
+/// let a = n.add_input("a");
+/// let b = n.add_input("b");
+/// let buffered = n.buf(a); // folds away
+/// let y = n.and2(buffered, b);
+/// n.set_output_bus("y", vec![y]);
+///
+/// let program = CompiledNetlist::compile(&n);
+/// assert_eq!(program.op_count(), 1); // the AND; the Buf is chased
+///
+/// let mut sim = CompiledSim::new(&program);
+/// sim.evaluate(&[0b1100, 0b1010]);
+/// assert_eq!(sim.plane(y), 0b1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledNetlist {
+    // Struct-of-arrays program, one entry per non-folded logic op.
+    code: Vec<OpCode>,
+    src0: Vec<u32>,
+    src1: Vec<u32>,
+    src2: Vec<u32>,
+    dst: Vec<u32>,
+    /// Net index → value-slot index (aliased for folded gates).
+    slot_of_net: Vec<u32>,
+    /// Slot per primary input, in declaration order.
+    input_slots: Vec<u32>,
+    slot_count: usize,
+}
+
+impl CompiledNetlist {
+    /// Flattens a netlist into its compiled program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist violates the feed-forward discipline (an
+    /// input net read before it is driven) — [`Netlist::validate`] catches
+    /// the same conditions.
+    #[must_use]
+    pub fn compile(netlist: &Netlist) -> Self {
+        let mut slot_of_net = vec![u32::MAX; netlist.net_count()];
+        let mut input_slots = Vec::with_capacity(netlist.inputs().len());
+        // Slots 0/1 are the folded constants.
+        let mut next_slot = 2u32;
+        let mut code = Vec::new();
+        let mut src0 = Vec::new();
+        let mut src1 = Vec::new();
+        let mut src2 = Vec::new();
+        let mut dst = Vec::new();
+        let slot = |table: &[u32], net: NetId| -> u32 {
+            let s = table[net.index()];
+            assert!(s != u32::MAX, "net {net} read before it is driven");
+            s
+        };
+        for gate in netlist.gates() {
+            let out = gate.output.index();
+            match gate.kind {
+                GateKind::Input => {
+                    slot_of_net[out] = next_slot;
+                    input_slots.push(next_slot);
+                    next_slot += 1;
+                }
+                GateKind::Const0 => slot_of_net[out] = SLOT_CONST0,
+                GateKind::Const1 => slot_of_net[out] = SLOT_CONST1,
+                GateKind::Buf => {
+                    // Chains collapse transitively: the source is already
+                    // resolved to its own (possibly aliased) slot.
+                    slot_of_net[out] = slot(&slot_of_net, gate.inputs[0]);
+                }
+                kind => {
+                    let opcode = match kind {
+                        GateKind::And2 => OpCode::And,
+                        GateKind::Or2 => OpCode::Or,
+                        GateKind::Nand2 => OpCode::Nand,
+                        GateKind::Nor2 => OpCode::Nor,
+                        GateKind::Xor2 => OpCode::Xor,
+                        GateKind::Xnor2 => OpCode::Xnor,
+                        GateKind::Not => OpCode::Not,
+                        GateKind::Mux2 => OpCode::Mux,
+                        _ => unreachable!("folded kinds handled above"),
+                    };
+                    let a = slot(&slot_of_net, gate.inputs[0]);
+                    let b = if gate.inputs.len() > 1 {
+                        slot(&slot_of_net, gate.inputs[1])
+                    } else {
+                        a
+                    };
+                    let c = if gate.inputs.len() > 2 {
+                        slot(&slot_of_net, gate.inputs[2])
+                    } else {
+                        a
+                    };
+                    code.push(opcode);
+                    src0.push(a);
+                    src1.push(b);
+                    src2.push(c);
+                    dst.push(next_slot);
+                    slot_of_net[out] = next_slot;
+                    next_slot += 1;
+                }
+            }
+        }
+        Self {
+            code,
+            src0,
+            src1,
+            src2,
+            dst,
+            slot_of_net,
+            input_slots,
+            slot_count: next_slot as usize,
+        }
+    }
+
+    /// Number of executed operations (gates that survived folding).
+    #[must_use]
+    pub fn op_count(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Number of value slots (two constants + inputs + op outputs).
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.slot_count
+    }
+
+    /// Value-slot index of a net (folded nets alias their source's slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` does not belong to the compiled netlist.
+    #[must_use]
+    pub fn slot_of(&self, net: NetId) -> usize {
+        self.slot_of_net[net.index()] as usize
+    }
+
+    /// Slots of the primary inputs, in declaration order.
+    #[must_use]
+    pub fn input_slots(&self) -> &[u32] {
+        &self.input_slots
+    }
+
+    /// Number of nets of the source netlist (for scatter tables).
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.slot_of_net.len()
+    }
+}
+
+/// 64-lane executor over a [`CompiledNetlist`] program.
+///
+/// Each instance owns only its value (and toggle) arrays; the program is
+/// shared by reference, so spawning one executor per worker thread is
+/// cheap.
+#[derive(Debug, Clone)]
+pub struct CompiledSim<'p> {
+    program: &'p CompiledNetlist,
+    values: Vec<u64>,
+    toggles: Vec<u64>,
+    words_applied: u64,
+}
+
+impl<'p> CompiledSim<'p> {
+    /// Creates an executor with all lanes at 0 (and the constant slots
+    /// pre-loaded).
+    #[must_use]
+    pub fn new(program: &'p CompiledNetlist) -> Self {
+        let mut values = vec![0u64; program.slot_count()];
+        values[SLOT_CONST1 as usize] = u64::MAX;
+        Self {
+            program,
+            toggles: vec![0; program.slot_count()],
+            values,
+            words_applied: 0,
+        }
+    }
+
+    /// The compiled program this executor runs.
+    #[must_use]
+    pub fn program(&self) -> &'p CompiledNetlist {
+        self.program
+    }
+
+    #[inline]
+    fn exec<const TOGGLED: bool>(&mut self, stimulus: &[u64]) {
+        let p = self.program;
+        assert_eq!(
+            stimulus.len(),
+            p.input_slots.len(),
+            "stimulus width mismatch"
+        );
+        let values = &mut self.values[..];
+        let toggles = &mut self.toggles[..];
+        for (&slot, &word) in p.input_slots.iter().zip(stimulus) {
+            let slot = slot as usize;
+            if TOGGLED {
+                toggles[slot] += u64::from((values[slot] ^ word).count_ones());
+            }
+            values[slot] = word;
+        }
+        // Zipped slice iteration keeps the hot loop free of per-op bounds
+        // checks on the program arrays.
+        let ops = p
+            .code
+            .iter()
+            .zip(&p.src0)
+            .zip(&p.src1)
+            .zip(&p.src2)
+            .zip(&p.dst);
+        for ((((&code, &s0), &s1), &s2), &d) in ops {
+            let a = values[s0 as usize];
+            let b = values[s1 as usize];
+            let new = match code {
+                OpCode::And => a & b,
+                OpCode::Or => a | b,
+                OpCode::Nand => !(a & b),
+                OpCode::Nor => !(a | b),
+                OpCode::Xor => a ^ b,
+                OpCode::Xnor => !(a ^ b),
+                OpCode::Not => !a,
+                // Inputs are [sel, a, b]: sel ? b : a.
+                OpCode::Mux => (b & !a) | (values[s2 as usize] & a),
+            };
+            let d = d as usize;
+            if TOGGLED {
+                toggles[d] += u64::from((values[d] ^ new).count_ones());
+            }
+            values[d] = new;
+        }
+    }
+
+    /// Applies one stimulus word per primary input (ordered like the
+    /// source netlist's `inputs()`) and settles all lanes, accumulating
+    /// lane-wise toggle counts against the previous word — the same
+    /// convention as [`crate::BitParallelSim`] (the first word establishes
+    /// state for free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stimulus length differs from the input count.
+    pub fn apply(&mut self, stimulus: &[u64]) {
+        if self.words_applied == 0 {
+            self.exec::<false>(stimulus);
+        } else {
+            self.exec::<true>(stimulus);
+        }
+        self.words_applied += 1;
+    }
+
+    /// Settles all lanes *without* toggle accounting — the equivalence
+    /// fast path, where only final values matter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stimulus length differs from the input count.
+    pub fn evaluate(&mut self, stimulus: &[u64]) {
+        self.exec::<false>(stimulus);
+    }
+
+    /// Current 64-lane plane of one net.
+    #[must_use]
+    pub fn plane(&self, net: NetId) -> u64 {
+        self.values[self.program.slot_of(net)]
+    }
+
+    /// Lane-`lane` value of one net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64`.
+    #[must_use]
+    pub fn lane_value(&self, net: NetId, lane: u32) -> bool {
+        assert!(lane < 64);
+        (self.plane(net) >> lane) & 1 == 1
+    }
+
+    /// Per-net toggle counts summed over all 64 lanes, scattered back to
+    /// the source netlist's net indexing (folded nets report their
+    /// source slot's count, which equals what the structural engines
+    /// count for them: a buffer's output transitions exactly when its
+    /// input does, and constants never do).
+    #[must_use]
+    pub fn toggles_per_net(&self) -> Vec<u64> {
+        self.program
+            .slot_of_net
+            .iter()
+            .map(|&slot| self.toggles[slot as usize])
+            .collect()
+    }
+
+    /// Number of stimulus words applied with toggle accounting.
+    #[must_use]
+    pub fn words_applied(&self) -> u64 {
+        self.words_applied
+    }
+
+    /// Total vectors that produced countable transitions:
+    /// `(words − 1) × 64`, the [`crate::BitParallelSim`] convention.
+    #[must_use]
+    pub fn transition_vectors(&self) -> u64 {
+        self.words_applied.saturating_sub(1) * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitParallelSim;
+    use sdlc_wideint::SplitMix64;
+
+    fn adder(width: u32) -> Netlist {
+        let mut n = Netlist::new("adder");
+        let a = n.add_input_bus("a", width);
+        let b = n.add_input_bus("b", width);
+        let s = sdlc_netlist::adders::ripple_add(&mut n, &a, &b);
+        n.set_output_bus("p", s);
+        n
+    }
+
+    #[test]
+    fn matches_bit_parallel_values_and_toggles() {
+        let n = adder(6);
+        let program = CompiledNetlist::compile(&n);
+        let mut compiled = CompiledSim::new(&program);
+        let mut structural = BitParallelSim::new(&n);
+        let mut rng = SplitMix64::new(0xC0DE);
+        for _ in 0..12 {
+            let stimulus: Vec<u64> = (0..12).map(|_| rng.next_u64()).collect();
+            compiled.apply(&stimulus);
+            structural.apply(&stimulus);
+        }
+        for gate in n.gates() {
+            let id = gate.output;
+            let mut plane = 0u64;
+            for lane in 0..64 {
+                plane |= u64::from(structural.lane_value(id, lane)) << lane;
+            }
+            assert_eq!(compiled.plane(id), plane, "net {id}");
+        }
+        assert_eq!(compiled.toggles_per_net(), structural.toggles().to_vec());
+        assert_eq!(
+            compiled.transition_vectors(),
+            structural.transition_vectors()
+        );
+    }
+
+    #[test]
+    fn constants_and_buffers_fold() {
+        let mut n = Netlist::new("folded");
+        let a = n.add_input("a");
+        let one = n.const1();
+        let zero = n.const0();
+        let b1 = n.buf(a);
+        let b2 = n.buf(b1);
+        let x = n.and2(b2, one);
+        let y = n.or2(x, zero);
+        n.set_output_bus("y", vec![y]);
+        let program = CompiledNetlist::compile(&n);
+        // Only the AND and OR execute; consts and both bufs fold away.
+        assert_eq!(program.op_count(), 2);
+        // Buf chain aliases: b2 shares a's slot.
+        assert_eq!(program.slot_of(b2), program.slot_of(a));
+        let mut sim = CompiledSim::new(&program);
+        sim.evaluate(&[0xF0F0]);
+        assert_eq!(sim.plane(y), 0xF0F0);
+        // Folded nets report their source's toggles; constants never move.
+        let mut sim = CompiledSim::new(&program);
+        sim.apply(&[0]);
+        sim.apply(&[0b11]);
+        let toggles = sim.toggles_per_net();
+        assert_eq!(toggles[b2.index()], toggles[a.index()]);
+        assert_eq!(toggles[one.index()], 0);
+        assert_eq!(toggles[zero.index()], 0);
+    }
+
+    #[test]
+    fn mux_pin_convention_matches_gatekind() {
+        let mut n = Netlist::new("mux");
+        let sel = n.add_input("sel");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let y = n.mux2(sel, a, b);
+        n.set_output_bus("y", vec![y]);
+        let program = CompiledNetlist::compile(&n);
+        let mut sim = CompiledSim::new(&program);
+        // sel lanes 0b01: lane0 selects b, lane1 selects a.
+        sim.evaluate(&[0b01, 0b10, 0b01]);
+        assert!(sim.lane_value(y, 0)); // sel=1 → b=1
+        assert!(sim.lane_value(y, 1)); // sel=0 → a=1
+    }
+
+    #[test]
+    #[should_panic(expected = "stimulus width mismatch")]
+    fn wrong_stimulus_width_panics() {
+        let n = adder(4);
+        let program = CompiledNetlist::compile(&n);
+        CompiledSim::new(&program).evaluate(&[0]);
+    }
+}

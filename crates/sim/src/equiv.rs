@@ -3,12 +3,75 @@
 //! Every circuit generator in the workspace is validated against its
 //! word-level model: exhaustively for narrow operands, by seeded sampling
 //! above that. A mismatch reports the first failing operand pair.
+//!
+//! Each check runs on one of two [`Engine`]s. The scalar engine drives
+//! one vector at a time through [`LogicSim`] — the reference. The
+//! compiled engine flattens the netlist once ([`CompiledNetlist`]), packs
+//! 64 operand pairs per sweep into bit-planes (reusing the
+//! `sdlc_wideint::bitplane` transpose machinery), and shards the operand
+//! space across scoped threads through the same
+//! [`parallel_chunks`](sdlc_wideint::parallel::parallel_chunks) splitter
+//! as the `sdlc-core` error drivers. Pair order, lane decoding order and
+//! chunk merge order all follow the scalar sweep, so the engines return
+//! bit-identical verdicts — including the *same first* counterexample —
+//! at a fraction of the cost (the differential suite proves it).
 
-use sdlc_netlist::Netlist;
-use sdlc_wideint::{SplitMix64, I256, U256};
+use core::fmt;
 
+use sdlc_netlist::{NetId, Netlist};
+use sdlc_wideint::parallel::parallel_chunks;
+use sdlc_wideint::{bitplane, SplitMix64, I256, U256};
+
+use crate::compile::{CompiledNetlist, CompiledSim};
 use crate::logic::ab_stimulus;
 use crate::LogicSim;
+
+/// Which simulation engine an equivalence check runs on.
+///
+/// Mirrors `sdlc_core::error::Engine` (scalar vs bit-sliced) one level
+/// down the stack: here the alternatives are the scalar netlist walk and
+/// the compiled 64-lane program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// One [`LogicSim`] sweep per operand pair — the reference engine.
+    #[default]
+    Scalar,
+    /// 64 pairs per sweep through the compiled program, sharded across
+    /// threads. Needs operand and product buses of at most 64 bits; the
+    /// dispatchers fall back to scalar beyond that.
+    Compiled,
+}
+
+impl Engine {
+    /// Short identifier used in reports and CLI flags.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Engine::Scalar => "scalar",
+            Engine::Compiled => "compiled",
+        }
+    }
+}
+
+impl core::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "scalar" => Ok(Engine::Scalar),
+            "compiled" => Ok(Engine::Compiled),
+            other => Err(format!(
+                "unknown engine {other:?}; expected \"scalar\" or \"compiled\""
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
 
 /// A counterexample from an equivalence check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,7 +109,11 @@ fn read_product(sim: &LogicSim<'_>, netlist: &Netlist) -> U256 {
 }
 
 /// Checks the netlist against `model` on every operand pair of
-/// `width × width` inputs (practical to ~8 bits).
+/// `width × width` inputs (practical to ~8 bits on the scalar engine,
+/// ~10–12 bits compiled).
+///
+/// Runs the scalar reference engine; [`check_exhaustive_with_engine`]
+/// selects the compiled fast path.
 ///
 /// # Errors
 ///
@@ -73,8 +140,47 @@ pub fn check_exhaustive(
     Ok(())
 }
 
+/// [`check_exhaustive`] dispatched on an [`Engine`]. Both engines sweep
+/// the same row-major pair order, so pass/fail results and the first
+/// reported counterexample are bit-identical.
+///
+/// # Errors
+///
+/// Returns the first [`Mismatch`] found.
+///
+/// # Panics
+///
+/// Panics if `width > 16`.
+pub fn check_exhaustive_with_engine(
+    netlist: &Netlist,
+    width: u32,
+    model: impl Fn(u128, u128) -> U256 + Sync,
+    engine: Engine,
+) -> Result<(), Box<Mismatch>> {
+    match engine {
+        Engine::Scalar => check_exhaustive(netlist, width, model),
+        Engine::Compiled if compiled_supports(netlist, width) => {
+            assert!(
+                width <= 16,
+                "exhaustive equivalence beyond 16 bits is impractical"
+            );
+            let count = 1u64 << width;
+            match exhaustive_walk_compiled(netlist, count, |a, b, got| {
+                unsigned_check_pair(a, b, got, &model)
+            }) {
+                Some(mismatch) => Err(mismatch),
+                None => Ok(()),
+            }
+        }
+        Engine::Compiled => check_exhaustive(netlist, width, model),
+    }
+}
+
 /// Checks `samples` seeded random operand pairs plus the corner cases
 /// (0, 1, all-ones in each position).
+///
+/// Runs the scalar reference engine; [`check_sampled_with_engine`]
+/// selects the compiled fast path.
 ///
 /// # Errors
 ///
@@ -87,30 +193,94 @@ pub fn check_sampled(
     model: impl Fn(u128, u128) -> U256,
 ) -> Result<(), Box<Mismatch>> {
     let mut sim = LogicSim::new(netlist);
+    for (a, b) in sampled_pairs(width, samples, seed) {
+        check_one(netlist, &mut sim, a, b, &model)?;
+    }
+    Ok(())
+}
+
+/// [`check_sampled`] dispatched on an [`Engine`]: identical corner cases,
+/// identical seeded draws, identical pair order — bit-identical verdicts
+/// and first counterexamples. Operand widths beyond 64 bits fall back to
+/// the scalar engine.
+///
+/// # Errors
+///
+/// Returns the first [`Mismatch`] found.
+pub fn check_sampled_with_engine(
+    netlist: &Netlist,
+    width: u32,
+    samples: u64,
+    seed: u64,
+    model: impl Fn(u128, u128) -> U256 + Sync,
+    engine: Engine,
+) -> Result<(), Box<Mismatch>> {
+    match engine {
+        Engine::Compiled if compiled_supports(netlist, width) => {
+            let pairs: Vec<(u64, u64)> = sampled_pairs(width, samples, seed)
+                .map(|(a, b)| (a as u64, b as u64))
+                .collect();
+            match pairs_walk_compiled(netlist, &pairs, |a, b, got| {
+                unsigned_check_pair(a, b, got, &model)
+            }) {
+                Some(mismatch) => Err(mismatch),
+                None => Ok(()),
+            }
+        }
+        _ => check_sampled(netlist, width, samples, seed, model),
+    }
+}
+
+/// One unsigned pair comparison of the compiled sweeps: the netlist's
+/// raw product lane against the model's [`U256`] product.
+fn unsigned_check_pair(
+    a: u64,
+    b: u64,
+    got: u64,
+    model: &impl Fn(u128, u128) -> U256,
+) -> Option<Box<Mismatch>> {
+    let expect = model(u128::from(a), u128::from(b));
+    if expect.to_u128() == Some(u128::from(got)) {
+        None
+    } else {
+        Some(Box::new(Mismatch {
+            a: u128::from(a),
+            b: u128::from(b),
+            netlist_product: U256::from_u128(u128::from(got)),
+            model_product: expect,
+        }))
+    }
+}
+
+/// The shared stimulus sequence of the sampled checks: nine corner pairs,
+/// then `samples` seeded draws. Both engines iterate exactly this
+/// sequence, which is what makes their first counterexamples identical.
+fn sampled_pairs(width: u32, samples: u64, seed: u64) -> impl Iterator<Item = (u128, u128)> {
     let max = if width == 128 {
         u128::MAX
     } else {
         (1u128 << width) - 1
     };
-    for &a in &[0u128, 1, max] {
-        for &b in &[0u128, 1, max] {
-            check_one(netlist, &mut sim, a, b, &model)?;
-        }
-    }
+    let corners = [0u128, 1, max];
+    let corner_pairs: Vec<(u128, u128)> = corners
+        .iter()
+        .flat_map(|&a| corners.iter().map(move |&b| (a, b)))
+        .collect();
     let mut rng = SplitMix64::new(seed);
-    let draw = |rng: &mut SplitMix64| -> u128 {
-        if width <= 64 {
-            u128::from(rng.next_bits(width))
-        } else {
-            (u128::from(rng.next_bits(width - 64)) << 64) | u128::from(rng.next_u64())
-        }
-    };
-    for _ in 0..samples {
-        let a = draw(&mut rng);
-        let b = draw(&mut rng);
-        check_one(netlist, &mut sim, a, b, &model)?;
+    let draws = (0..samples).map(move |_| {
+        let a = draw_pattern(&mut rng, width);
+        let b = draw_pattern(&mut rng, width);
+        (a, b)
+    });
+    corner_pairs.into_iter().chain(draws)
+}
+
+fn draw_pattern(rng: &mut SplitMix64, width: u32) -> u128 {
+    if width <= 64 {
+        u128::from(rng.next_bits(width))
+    } else {
+        (u128::from(rng.next_bits(width - 64)) << 64) | u128::from(rng.next_u64())
     }
-    Ok(())
 }
 
 fn check_one(
@@ -133,6 +303,200 @@ fn check_one(
     }
     Ok(())
 }
+
+// ---------------------------------------------------------------------
+// Compiled word-parallel sweeps.
+// ---------------------------------------------------------------------
+
+/// Whether the compiled fast path can drive this netlist at this operand
+/// width: the `a`/`b` operand buses and the `p` product bus must each fit
+/// one 64-lane plane stack, and the operand buses must be at least
+/// `width` bits so packed operands are never truncated. Checks beyond
+/// these bounds fall back to the scalar engine — which, for operands
+/// overflowing their bus, preserves the loud `ab_stimulus` panic instead
+/// of a silently truncated sweep.
+fn compiled_supports(netlist: &Netlist, width: u32) -> bool {
+    let operand_fits = |name: &str| {
+        netlist
+            .bus(name)
+            .is_some_and(|bus| (width as usize..=64).contains(&bus.len()))
+    };
+    operand_fits("a") && operand_fits("b") && netlist.bus("p").is_some_and(|bus| bus.len() <= 64)
+}
+
+/// Pre-resolved `a`/`b`/`p` port map for the compiled sweeps: stimulus
+/// slots are written straight from operand bit-planes, products read
+/// straight from the `p` nets.
+struct AbPorts {
+    /// Per primary input (netlist order): operand bus (false = `a`) and
+    /// bit position within it.
+    input_src: Vec<(bool, usize)>,
+    a_len: u32,
+    b_len: u32,
+    p_nets: Vec<NetId>,
+}
+
+impl AbPorts {
+    fn of(netlist: &Netlist) -> Self {
+        let bus_a = netlist.bus("a").expect("input bus `a`");
+        let bus_b = netlist.bus("b").expect("input bus `b`");
+        let p_nets = netlist.bus("p").expect("output bus `p`").to_vec();
+        assert_eq!(
+            netlist.inputs().len(),
+            bus_a.len() + bus_b.len(),
+            "netlist has inputs beyond a/b"
+        );
+        let input_src = netlist
+            .inputs()
+            .iter()
+            .map(|&input| {
+                if let Some(j) = bus_a.iter().position(|&n| n == input) {
+                    (false, j)
+                } else {
+                    let j = bus_b
+                        .iter()
+                        .position(|&n| n == input)
+                        .expect("net in a bus");
+                    (true, j)
+                }
+            })
+            .collect();
+        Self {
+            input_src,
+            a_len: bus_a.len() as u32,
+            b_len: bus_b.len() as u32,
+            p_nets,
+        }
+    }
+
+    fn fill_stimulus(&self, a_planes: &[u64], b_planes: &[u64], stimulus: &mut [u64]) {
+        for (slot, &(is_b, bit)) in stimulus.iter_mut().zip(&self.input_src) {
+            *slot = if is_b { b_planes[bit] } else { a_planes[bit] };
+        }
+    }
+
+    /// Decodes the 64 per-lane products from the `p` bus planes, using
+    /// the cheapest bitplane transpose that fits the product width.
+    fn product_lanes(&self, sim: &CompiledSim<'_>, out: &mut [u64; bitplane::LANES]) {
+        let len = self.p_nets.len();
+        if len <= 16 {
+            let mut planes = [0u64; 16];
+            for (plane, &net) in planes.iter_mut().zip(&self.p_nets) {
+                *plane = sim.plane(net);
+            }
+            let lanes = bitplane::lanes_from_planes16(&planes);
+            for (o, &l) in out.iter_mut().zip(&lanes) {
+                *o = u64::from(l);
+            }
+        } else if len <= 32 {
+            let mut planes = [0u64; 32];
+            for (plane, &net) in planes.iter_mut().zip(&self.p_nets) {
+                *plane = sim.plane(net);
+            }
+            let lanes = bitplane::lanes_from_planes32(&planes);
+            for (o, &l) in out.iter_mut().zip(&lanes) {
+                *o = u64::from(l);
+            }
+        } else {
+            let mut planes = [0u64; bitplane::LANES];
+            for (plane, &net) in planes.iter_mut().zip(&self.p_nets) {
+                *plane = sim.plane(net);
+            }
+            *out = bitplane::transposed64(&planes);
+        }
+    }
+}
+
+/// Sweeps the full `count × count` operand rectangle in row-major order,
+/// 64 consecutive `b` values per sweep, rows sharded across threads via
+/// the shared chunk splitter. `check_pair(a, b, netlist_product_lane)`
+/// is called in exact scalar order within each chunk; the first `Some`
+/// across chunks (merged in chunk order) is therefore the same
+/// counterexample the scalar engine reports.
+fn exhaustive_walk_compiled<E: Send>(
+    netlist: &Netlist,
+    count: u64,
+    check_pair: impl Fn(u64, u64, u64) -> Option<Box<E>> + Sync,
+) -> Option<Box<E>> {
+    let program = CompiledNetlist::compile(netlist);
+    let ports = AbPorts::of(netlist);
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let partials = parallel_chunks(count, threads, |lo, hi| {
+        let mut sim = CompiledSim::new(&program);
+        let mut stimulus = vec![0u64; netlist.inputs().len()];
+        let mut a_planes = vec![0u64; ports.a_len as usize];
+        let mut b_planes = vec![0u64; ports.b_len as usize];
+        let mut lanes = [0u64; bitplane::LANES];
+        for a in lo..hi {
+            bitplane::broadcast_planes(a, ports.a_len, &mut a_planes);
+            let mut b0 = 0u64;
+            while b0 < count {
+                bitplane::counter_planes(b0, ports.b_len, &mut b_planes);
+                ports.fill_stimulus(&a_planes, &b_planes, &mut stimulus);
+                sim.evaluate(&stimulus);
+                ports.product_lanes(&sim, &mut lanes);
+                let valid = (count - b0).min(bitplane::LANES as u64) as usize;
+                for (i, &got) in lanes.iter().enumerate().take(valid) {
+                    if let Some(err) = check_pair(a, b0 + i as u64, got) {
+                        return Some(err);
+                    }
+                }
+                b0 += bitplane::LANES as u64;
+            }
+        }
+        None
+    });
+    partials.into_iter().flatten().next()
+}
+
+/// Sweeps an explicit pair list (the sampled sequence) in order, 64 pairs
+/// per sweep, blocks sharded across threads. Lane decoding follows list
+/// order, so the first `Some` matches the scalar engine's.
+fn pairs_walk_compiled<E: Send>(
+    netlist: &Netlist,
+    pairs: &[(u64, u64)],
+    check_pair: impl Fn(u64, u64, u64) -> Option<Box<E>> + Sync,
+) -> Option<Box<E>> {
+    let program = CompiledNetlist::compile(netlist);
+    let ports = AbPorts::of(netlist);
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let blocks = pairs.len().div_ceil(bitplane::LANES) as u64;
+    let partials = parallel_chunks(blocks, threads, |lo, hi| {
+        let mut sim = CompiledSim::new(&program);
+        let mut stimulus = vec![0u64; netlist.inputs().len()];
+        let mut lanes = [0u64; bitplane::LANES];
+        for block in lo..hi {
+            let base = block as usize * bitplane::LANES;
+            let chunk = &pairs[base..pairs.len().min(base + bitplane::LANES)];
+            let mut a_lanes = [0u64; bitplane::LANES];
+            let mut b_lanes = [0u64; bitplane::LANES];
+            for (i, &(a, b)) in chunk.iter().enumerate() {
+                a_lanes[i] = a;
+                b_lanes[i] = b;
+            }
+            let a_planes = bitplane::transposed64(&a_lanes);
+            let b_planes = bitplane::transposed64(&b_lanes);
+            ports.fill_stimulus(
+                &a_planes[..ports.a_len as usize],
+                &b_planes[..ports.b_len as usize],
+                &mut stimulus,
+            );
+            sim.evaluate(&stimulus);
+            ports.product_lanes(&sim, &mut lanes);
+            for (i, &(a, b)) in chunk.iter().enumerate() {
+                if let Some(err) = check_pair(a, b, lanes[i]) {
+                    return Some(err);
+                }
+            }
+        }
+        None
+    });
+    partials.into_iter().flatten().next()
+}
+
+// ---------------------------------------------------------------------
+// Signed checks.
+// ---------------------------------------------------------------------
 
 /// A counterexample from a *signed* equivalence check, with operands and
 /// products decoded from their two's-complement bus patterns.
@@ -165,7 +529,8 @@ fn sign_extend(pattern: u128, width: u32) -> i128 {
 
 /// Checks a signed (two's-complement `a`/`b`→`p`) netlist against `model`
 /// on every operand pair of `width × width` signed inputs, walking the
-/// bit patterns `0..2^width` on each bus (practical to ~8 bits).
+/// bit patterns `0..2^width` on each bus (practical to ~8 bits scalar,
+/// ~10–12 bits compiled via [`check_exhaustive_signed_with_engine`]).
 ///
 /// # Errors
 ///
@@ -193,6 +558,42 @@ pub fn check_exhaustive_signed(
     Ok(())
 }
 
+/// [`check_exhaustive_signed`] dispatched on an [`Engine`]; both engines
+/// walk the identical pattern order, so verdicts and first
+/// counterexamples are bit-identical.
+///
+/// # Errors
+///
+/// Returns the first [`SignedMismatch`] found.
+///
+/// # Panics
+///
+/// Panics if `width > 16`.
+pub fn check_exhaustive_signed_with_engine(
+    netlist: &Netlist,
+    width: u32,
+    model: impl Fn(i128, i128) -> I256 + Sync,
+    engine: Engine,
+) -> Result<(), Box<SignedMismatch>> {
+    match engine {
+        Engine::Scalar => check_exhaustive_signed(netlist, width, model),
+        Engine::Compiled if compiled_supports(netlist, width) => {
+            assert!(
+                width <= 16,
+                "exhaustive equivalence beyond 16 bits is impractical"
+            );
+            let count = 1u64 << width;
+            match exhaustive_walk_compiled(netlist, count, |ua, ub, got| {
+                signed_check_pair(width, ua, ub, got, &model)
+            }) {
+                Some(mismatch) => Err(mismatch),
+                None => Ok(()),
+            }
+        }
+        Engine::Compiled => check_exhaustive_signed(netlist, width, model),
+    }
+}
+
 /// Checks `samples` seeded random signed operand pairs plus the signed
 /// corner patterns (0, ±1, MAX, MIN in each position).
 ///
@@ -207,6 +608,51 @@ pub fn check_sampled_signed(
     model: impl Fn(i128, i128) -> I256,
 ) -> Result<(), Box<SignedMismatch>> {
     let mut sim = LogicSim::new(netlist);
+    for (ua, ub) in sampled_signed_patterns(width, samples, seed) {
+        check_one_signed(netlist, &mut sim, width, ua, ub, &model)?;
+    }
+    Ok(())
+}
+
+/// [`check_sampled_signed`] dispatched on an [`Engine`]: identical
+/// corner patterns, identical seeded draws, bit-identical verdicts and
+/// first counterexamples. Operand widths beyond 64 bits fall back to the
+/// scalar engine.
+///
+/// # Errors
+///
+/// Returns the first [`SignedMismatch`] found.
+pub fn check_sampled_signed_with_engine(
+    netlist: &Netlist,
+    width: u32,
+    samples: u64,
+    seed: u64,
+    model: impl Fn(i128, i128) -> I256 + Sync,
+    engine: Engine,
+) -> Result<(), Box<SignedMismatch>> {
+    match engine {
+        Engine::Compiled if compiled_supports(netlist, width) => {
+            let patterns: Vec<(u64, u64)> = sampled_signed_patterns(width, samples, seed)
+                .map(|(ua, ub)| (ua as u64, ub as u64))
+                .collect();
+            match pairs_walk_compiled(netlist, &patterns, |ua, ub, got| {
+                signed_check_pair(width, ua, ub, got, &model)
+            }) {
+                Some(mismatch) => Err(mismatch),
+                None => Ok(()),
+            }
+        }
+        _ => check_sampled_signed(netlist, width, samples, seed, model),
+    }
+}
+
+/// The signed sampled stimulus sequence: 25 signed corner pairs, then
+/// `samples` seeded pattern draws — shared by both engines.
+fn sampled_signed_patterns(
+    width: u32,
+    samples: u64,
+    seed: u64,
+) -> impl Iterator<Item = (u128, u128)> {
     let mask = if width == 128 {
         u128::MAX
     } else {
@@ -215,25 +661,44 @@ pub fn check_sampled_signed(
     let min_pattern = 1u128 << (width - 1); // MIN = 100…0
     let max_pattern = min_pattern - 1; // MAX = 011…1
     let corners = [0u128, 1, mask /* −1 */, max_pattern, min_pattern];
-    for &ua in &corners {
-        for &ub in &corners {
-            check_one_signed(netlist, &mut sim, width, ua, ub, &model)?;
-        }
-    }
+    let corner_pairs: Vec<(u128, u128)> = corners
+        .iter()
+        .flat_map(|&ua| corners.iter().map(move |&ub| (ua, ub)))
+        .collect();
     let mut rng = SplitMix64::new(seed);
-    let draw = |rng: &mut SplitMix64| -> u128 {
-        if width <= 64 {
-            u128::from(rng.next_bits(width))
-        } else {
-            (u128::from(rng.next_bits(width - 64)) << 64) | u128::from(rng.next_u64())
-        }
-    };
-    for _ in 0..samples {
-        let ua = draw(&mut rng);
-        let ub = draw(&mut rng);
-        check_one_signed(netlist, &mut sim, width, ua, ub, &model)?;
+    let draws = (0..samples).map(move |_| {
+        let ua = draw_pattern(&mut rng, width);
+        let ub = draw_pattern(&mut rng, width);
+        (ua, ub)
+    });
+    corner_pairs.into_iter().chain(draws)
+}
+
+/// One signed pair comparison of the compiled sweeps, decoding the raw
+/// product lane exactly like the scalar engine decodes the `p` bus.
+fn signed_check_pair(
+    width: u32,
+    ua: u64,
+    ub: u64,
+    got_raw: u64,
+    model: &impl Fn(i128, i128) -> I256,
+) -> Option<Box<SignedMismatch>> {
+    let got = I256::from_twos_complement(&U256::from_u128(u128::from(got_raw)), 2 * width);
+    let (a, b) = (
+        sign_extend(u128::from(ua), width),
+        sign_extend(u128::from(ub), width),
+    );
+    let expect = model(a, b);
+    if got == expect {
+        None
+    } else {
+        Some(Box::new(SignedMismatch {
+            a,
+            b,
+            netlist_product: got,
+            model_product: expect,
+        }))
     }
-    Ok(())
 }
 
 fn check_one_signed(
@@ -293,11 +758,32 @@ mod tests {
     }
 
     #[test]
+    fn exhaustive_passes_on_the_compiled_engine() {
+        let n = wallace_multiplier(4);
+        check_exhaustive_with_engine(
+            &n,
+            4,
+            |a, b| U256::from_u128(a).wrapping_mul(&U256::from_u128(b)),
+            Engine::Compiled,
+        )
+        .unwrap();
+    }
+
+    #[test]
     fn sampled_passes_for_wide_multiplier() {
         let n = wallace_multiplier(20);
         check_sampled(&n, 20, 500, 3, |a, b| {
             U256::from_u128(a).wrapping_mul(&U256::from_u128(b))
         })
+        .unwrap();
+        check_sampled_with_engine(
+            &n,
+            20,
+            500,
+            3,
+            |a, b| U256::from_u128(a).wrapping_mul(&U256::from_u128(b)),
+            Engine::Compiled,
+        )
         .unwrap();
     }
 
@@ -312,6 +798,46 @@ mod tests {
         assert_eq!((err.a, err.b), (0, 1));
     }
 
+    #[test]
+    fn both_engines_report_the_same_first_mismatch() {
+        let n = wallace_multiplier(4);
+        let wrong = |a: u128, b: u128| U256::from_u128(a.wrapping_add(b));
+        let scalar = check_exhaustive_with_engine(&n, 4, wrong, Engine::Scalar).unwrap_err();
+        let compiled = check_exhaustive_with_engine(&n, 4, wrong, Engine::Compiled).unwrap_err();
+        assert_eq!(scalar, compiled);
+        let scalar = check_sampled_with_engine(&n, 4, 40, 9, wrong, Engine::Scalar).unwrap_err();
+        let compiled =
+            check_sampled_with_engine(&n, 4, 40, 9, wrong, Engine::Compiled).unwrap_err();
+        assert_eq!(scalar, compiled);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows bus")]
+    fn compiled_engine_preserves_the_operand_overflow_panic() {
+        // Operands wider than the netlist's buses must fail loudly on
+        // BOTH engines (the compiled path falls back to scalar rather
+        // than silently truncating the packed operands).
+        let n = wallace_multiplier(4);
+        let _ = check_sampled_with_engine(
+            &n,
+            6, // draws 6-bit operands against 4-bit buses
+            16,
+            1,
+            |a, b| U256::from_u128(a).wrapping_mul(&U256::from_u128(b)),
+            Engine::Compiled,
+        );
+    }
+
+    #[test]
+    fn engine_parsing_and_display() {
+        assert_eq!("scalar".parse::<Engine>().unwrap(), Engine::Scalar);
+        assert_eq!("compiled".parse::<Engine>().unwrap(), Engine::Compiled);
+        assert_eq!(Engine::default(), Engine::Scalar);
+        assert_eq!(Engine::Compiled.to_string(), "compiled");
+        let err = "turbo".parse::<Engine>().unwrap_err();
+        assert!(err.contains("turbo") && err.contains("compiled"), "{err}");
+    }
+
     fn signed_wallace_multiplier(width: u32) -> Netlist {
         sdlc_netlist::signed::sign_magnitude_wrap(&wallace_multiplier(width), width)
     }
@@ -320,12 +846,38 @@ mod tests {
     fn signed_exhaustive_passes_for_exact_multiplier() {
         let n = signed_wallace_multiplier(5);
         check_exhaustive_signed(&n, 5, |a, b| I256::from_i128(a * b)).unwrap();
+        check_exhaustive_signed_with_engine(&n, 5, |a, b| I256::from_i128(a * b), Engine::Compiled)
+            .unwrap();
     }
 
     #[test]
     fn signed_sampled_passes_for_wide_multiplier() {
         let n = signed_wallace_multiplier(18);
         check_sampled_signed(&n, 18, 300, 11, |a, b| I256::from_i128(a * b)).unwrap();
+        check_sampled_signed_with_engine(
+            &n,
+            18,
+            300,
+            11,
+            |a, b| I256::from_i128(a * b),
+            Engine::Compiled,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn signed_engines_report_the_same_first_mismatch() {
+        let n = signed_wallace_multiplier(4);
+        let wrong = |_: i128, _: i128| I256::ZERO;
+        let scalar = check_exhaustive_signed_with_engine(&n, 4, wrong, Engine::Scalar).unwrap_err();
+        let compiled =
+            check_exhaustive_signed_with_engine(&n, 4, wrong, Engine::Compiled).unwrap_err();
+        assert_eq!(scalar, compiled);
+        let scalar =
+            check_sampled_signed_with_engine(&n, 4, 30, 2, wrong, Engine::Scalar).unwrap_err();
+        let compiled =
+            check_sampled_signed_with_engine(&n, 4, 30, 2, wrong, Engine::Compiled).unwrap_err();
+        assert_eq!(scalar, compiled);
     }
 
     #[test]

@@ -1,27 +1,37 @@
 //! Gate-level logic simulation (the reproduction's stand-in for QuestaSim).
 //!
-//! Three engines share the netlist IR:
+//! Four engines share the netlist IR:
 //!
 //! * [`LogicSim`] — scalar levelized zero-delay simulation with per-net
-//!   toggle counting; the reference engine and the workhorse of
-//!   equivalence checks.
-//! * [`BitParallelSim`] — 64 independent stimulus lanes per machine word;
-//!   the fast path for switching-activity estimation on large multipliers.
+//!   toggle counting; the reference engine every faster path is checked
+//!   against.
+//! * [`BitParallelSim`] — 64 independent stimulus lanes per machine word,
+//!   walking the netlist structure gate by gate.
+//! * [`CompiledNetlist`]/[`CompiledSim`] — the netlist flattened once into
+//!   a dense struct-of-arrays program (constants folded, buffer chains
+//!   chased, ports pre-mapped) whose executor evaluates 64 vectors per
+//!   sweep without re-walking the `Netlist`; the fast path for
+//!   equivalence checking and switching-activity estimation.
 //! * [`TimingSim`] — event-driven simulation with per-gate load-dependent
 //!   delays from `sdlc-techlib`; observes *glitches* (spurious transitions
 //!   inside a cycle) that zero-delay simulation cannot, and reports settle
 //!   times that cross-check static timing analysis.
 //!
-//! [`activity`] drives any engine over seeded random vector streams and
-//! aggregates per-net toggle statistics for the power model in
-//! `sdlc-synth`; [`equiv`] checks netlists against functional models.
+//! [`activity`] drives the zero-delay engines over seeded random vector
+//! streams and aggregates per-net toggle statistics for the power model in
+//! `sdlc-synth`; [`equiv`] checks netlists against functional models, with
+//! an [`Engine`] selector between the scalar reference and the compiled
+//! word-parallel, multi-threaded sweep.
 
 pub mod activity;
+mod compile;
 pub mod equiv;
 mod logic;
 mod parallel;
 mod timing;
 
+pub use compile::{CompiledNetlist, CompiledSim};
+pub use equiv::Engine;
 pub use logic::{ab_stimulus, LogicSim};
 pub use parallel::BitParallelSim;
 pub use timing::{ApplyResult, TimingSim};

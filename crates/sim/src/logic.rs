@@ -64,9 +64,15 @@ impl<'n> LogicSim<'n> {
             let new = match gate.kind {
                 GateKind::Input => *input_iter.next().expect("one stimulus bit per input"),
                 kind => {
-                    let pins: Vec<bool> =
-                        gate.inputs.iter().map(|i| self.values[i.index()]).collect();
-                    kind.evaluate(&pins)
+                    // Gather pins into a stack buffer (max arity 3): one
+                    // heap allocation per gate per vector used to dominate
+                    // the whole sweep. `GateKind::evaluate` stays the
+                    // single source of truth for the cell functions.
+                    let mut pins = [false; 3];
+                    for (pin, &net) in pins.iter_mut().zip(&gate.inputs) {
+                        *pin = self.values[net.index()];
+                    }
+                    kind.evaluate(&pins[..gate.inputs.len()])
                 }
             };
             let slot = &mut self.values[gate.output.index()];

@@ -3,7 +3,8 @@
 use core::fmt;
 
 use sdlc_netlist::{passes, Netlist, NetlistStats};
-use sdlc_sim::activity::{random_activity, timing_activity};
+use sdlc_sim::activity::{random_activity_with_engine, timing_activity};
+use sdlc_sim::Engine;
 use sdlc_techlib::Library;
 
 use crate::power::{
@@ -30,6 +31,11 @@ pub struct AnalysisOptions {
     /// time on large designs; the zero-delay estimate underrates deep
     /// arrays when disabled.
     pub glitch_power: bool,
+    /// Zero-delay activity engine (ignored when `glitch_power` captures
+    /// through the event-driven engine instead). The compiled program is
+    /// the default fast path; the structural engine produces bit-identical
+    /// toggle totals and serves as the differential reference.
+    pub activity_engine: Engine,
 }
 
 impl Default for AnalysisOptions {
@@ -39,6 +45,7 @@ impl Default for AnalysisOptions {
             activity_vectors: 512,
             seed: 0x5D_1C,
             glitch_power: true,
+            activity_engine: Engine::Compiled,
         }
     }
 }
@@ -167,7 +174,12 @@ pub fn analyze(
     let activity = if options.glitch_power {
         timing_activity(&netlist, library, options.seed, options.activity_vectors)
     } else {
-        random_activity(&netlist, options.seed, options.activity_vectors)
+        random_activity_with_engine(
+            &netlist,
+            options.seed,
+            options.activity_vectors,
+            options.activity_engine,
+        )
     };
     let energy = dynamic_energy_fj_per_op(&netlist, library, &activity);
     let delay = timing.critical_delay_ps();
@@ -242,6 +254,23 @@ mod tests {
         let r1 = analyze(adder(8), &lib, &options);
         let r2 = analyze(adder(8), &lib, &options);
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn zero_delay_reports_match_across_activity_engines() {
+        let lib = Library::generic_90nm();
+        let compiled = analyze(adder(10), &lib, &AnalysisOptions::zero_delay());
+        let structural = analyze(
+            adder(10),
+            &lib,
+            &AnalysisOptions {
+                activity_engine: Engine::Scalar,
+                ..AnalysisOptions::zero_delay()
+            },
+        );
+        // The compiled program and the structural walk count identical
+        // toggles, so the whole power report is bit-identical.
+        assert_eq!(compiled, structural);
     }
 
     #[test]

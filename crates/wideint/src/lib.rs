@@ -37,6 +37,7 @@ mod convert;
 mod fmt;
 mod limbs;
 mod ops;
+pub mod parallel;
 mod rng;
 mod signed;
 

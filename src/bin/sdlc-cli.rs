@@ -4,6 +4,7 @@
 //! $ sdlc-cli errors --width 8 --depth 2
 //! $ sdlc-cli errors --width 8 --depths 4,2,2
 //! $ sdlc-cli errors --width 8 --signed --engine bitsliced
+//! $ sdlc-cli verify --width 10 --depth 2 --engine compiled
 //! $ sdlc-cli sobel --depth 3 --size 128,128 --out edges/
 //! $ sdlc-cli synth --width 16 --depth 3 --scheme wallace
 //! $ sdlc-cli verilog --width 8 --depth 2 --signed --out signed_sdlc8.v
@@ -11,6 +12,7 @@
 //! ```
 //!
 //! Subcommands: `errors` (error metrics, unsigned or `--signed`),
+//! `verify` (gate-level netlist vs functional model equivalence),
 //! `sobel` (edge detection through approximate signed multipliers),
 //! `synth` (area/power/delay report + savings vs accurate), `verilog`
 //! (structural export, optionally `--signed`), `dot` (dot-notation
@@ -38,6 +40,8 @@ USAGE:
 
 COMMANDS:
   errors    error metrics (exhaustive <=12 bits, Monte-Carlo above)
+  verify    check the generated netlist against its functional model
+            (exhaustive for narrow widths, sampled + corners above)
   sobel     Sobel edge detection through approximate signed multipliers
   synth     synthesis-style report and savings vs the accurate design
   verilog   export the multiplier as structural Verilog
@@ -51,13 +55,17 @@ OPTIONS:
   --depths A,B,..  heterogeneous cluster depths (sum = width)
   --variant V      prog | ceiltails | pairtails | fullor (default prog)
   --scheme S       ripple | csa | wallace | dadda (default ripple)
-  --engine E       scalar | bitsliced (default scalar) — bitsliced packs
-                   64 multiplications into word-wide bit-plane ops and
-                   sweeps exhaustively up to 20 bits (2^40 pairs)
+  --engine E       errors: scalar | bitsliced (default scalar) —
+                   bitsliced packs 64 multiplications into word-wide
+                   bit-plane ops, exhaustive up to 20 bits (2^40 pairs);
+                   verify: scalar | compiled (default compiled) —
+                   compiled flattens the netlist once and sweeps 64
+                   vectors per pass across all cores
   --signed         evaluate the signed (two's-complement) sign-magnitude
                    wrapping of the design: `errors` sweeps the signed
                    operand range with signed ED/RED statistics
-  --samples K      Monte-Carlo samples for wide widths (default 2^22)
+  --samples K      Monte-Carlo samples for wide widths (`errors`
+                   default 2^22; `verify` default 2048 netlist sweeps)
   --size W,H       scene size for `sobel` (default 200,200)
   --out PATH       output path for `verilog` (default stdout); for
                    `sobel`, a directory receiving the PGM before/after set
@@ -72,9 +80,12 @@ struct Options {
     depths: Option<Vec<u32>>,
     variant: ClusterVariant,
     scheme: ReductionScheme,
-    engine: Engine,
+    /// Raw `--engine` value; each command parses it against its own
+    /// engine domain (`errors`: scalar/bitsliced model engines,
+    /// `verify`: scalar/compiled netlist engines).
+    engine: Option<String>,
     signed: bool,
-    samples: u64,
+    samples: Option<u64>,
     size: (u32, u32),
     out: Option<String>,
     lib: Option<String>,
@@ -88,9 +99,9 @@ impl Default for Options {
             depths: None,
             variant: ClusterVariant::Progressive,
             scheme: ReductionScheme::RippleRows,
-            engine: Engine::Scalar,
+            engine: None,
             signed: false,
-            samples: 1 << 22,
+            samples: None,
             size: (200, 200),
             out: None,
             lib: None,
@@ -148,7 +159,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 };
             }
             "--engine" => {
-                options.engine = value()?.parse()?;
+                options.engine = Some(value()?);
             }
             "--signed" => options.signed = true,
             "--size" => {
@@ -167,9 +178,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--samples" => {
-                options.samples = value()?
-                    .parse()
-                    .map_err(|e| format!("bad --samples: {e}"))?;
+                options.samples = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("bad --samples: {e}"))?,
+                );
             }
             "--out" => options.out = Some(value()?),
             "--lib" => options.lib = Some(value()?),
@@ -177,6 +190,18 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         }
     }
     Ok(options)
+}
+
+/// Commands without an engine dimension must reject `--engine` rather
+/// than silently ignore a value that only `errors`/`verify` interpret.
+fn reject_engine(options: &Options, command: &str) -> Result<(), String> {
+    match &options.engine {
+        Some(engine) => Err(format!(
+            "--engine {engine} is not supported by `{command}`; it selects \
+             evaluation engines for `errors` and `verify`"
+        )),
+        None => Ok(()),
+    }
 }
 
 fn build_model(options: &Options, width: u32) -> Result<SdlcMultiplier, String> {
@@ -190,31 +215,32 @@ fn build_model(options: &Options, width: u32) -> Result<SdlcMultiplier, String> 
 fn cmd_errors(options: &Options) -> Result<(), String> {
     let width = options.width("errors");
     let model = build_model(options, width)?;
+    let engine: Engine = options.engine.as_deref().unwrap_or("scalar").parse()?;
+    let samples = options.samples.unwrap_or(1 << 22);
     // The bit-sliced engine makes full sweeps cheap enough to exhaust
     // everything up to its 20-bit driver ceiling (the paper's entire
     // synthesized range is ≤16); the scalar path keeps its 12-bit
     // practicality cutoff. Signed sweeps cover the same 2^{2N} pattern
     // space, so the cutoffs carry over.
-    let exhaustive_cutoff = match options.engine {
+    let exhaustive_cutoff = match engine {
         Engine::Scalar => 12,
         Engine::BitSliced => BITSLICED_EXHAUSTIVE_WIDTH_LIMIT,
     };
     let metrics = if options.signed {
         let signed = SignMagnitude::new(model.clone());
-        println!("design {} (engine {})", signed.name(), options.engine);
+        println!("design {} (engine {engine})", signed.name());
         if width <= exhaustive_cutoff {
-            exhaustive_signed_with_engine(&signed, options.engine).map_err(|e| e.to_string())?
+            exhaustive_signed_with_engine(&signed, engine).map_err(|e| e.to_string())?
         } else {
-            sampled_signed_with_engine(&signed, options.samples, 0x5D1C, options.engine)
+            sampled_signed_with_engine(&signed, samples, 0x5D1C, engine)
                 .map_err(|e| e.to_string())?
         }
     } else {
-        println!("design {} (engine {})", model.name(), options.engine);
+        println!("design {} (engine {engine})", model.name());
         if width <= exhaustive_cutoff {
-            exhaustive_with_engine(&model, options.engine).map_err(|e| e.to_string())?
+            exhaustive_with_engine(&model, engine).map_err(|e| e.to_string())?
         } else {
-            sampled_with_engine(&model, options.samples, 0x5D1C, options.engine)
-                .map_err(|e| e.to_string())?
+            sampled_with_engine(&model, samples, 0x5D1C, engine).map_err(|e| e.to_string())?
         }
     };
     println!("{metrics}");
@@ -241,7 +267,63 @@ fn cmd_errors(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_verify(options: &Options) -> Result<(), String> {
+    let width = options.width("verify");
+    let engine: sdlc::sim::Engine = options.engine.as_deref().unwrap_or("compiled").parse()?;
+    let samples = options.samples.unwrap_or(2048);
+    let model = build_model(options, width)?;
+    let mut netlist = sdlc_multiplier(&model, options.scheme);
+    if options.signed {
+        netlist = sdlc::core::circuits::signed_multiplier(&netlist, width);
+    }
+    // The compiled engine packs 64 vectors per netlist sweep and shards
+    // rows across cores, which moves the practical exhaustive ceiling
+    // from 8 to 10 bits; above the ceiling, seeded sampling plus the
+    // corner patterns.
+    let cutoff = match engine {
+        sdlc::sim::Engine::Scalar => 8,
+        sdlc::sim::Engine::Compiled => 10,
+    };
+    println!(
+        "verifying {} against its functional model (engine {engine})",
+        netlist.name()
+    );
+    let coverage = if options.signed {
+        let signed = SignMagnitude::new(model);
+        let reference = |a: i128, b: i128| signed.multiply_signed(a, b);
+        if width <= cutoff {
+            sdlc::sim::equiv::check_exhaustive_signed_with_engine(
+                &netlist, width, reference, engine,
+            )
+            .map_err(|e| format!("equivalence FAILED: {e}"))?;
+            format!("exhaustive, {} signed operand pairs", 1u64 << (2 * width))
+        } else {
+            sdlc::sim::equiv::check_sampled_signed_with_engine(
+                &netlist, width, samples, 0x5D1C, reference, engine,
+            )
+            .map_err(|e| format!("equivalence FAILED: {e}"))?;
+            format!("sampled, 25 signed corners + {samples} seeded pairs")
+        }
+    } else {
+        let reference = |a: u128, b: u128| model.multiply(a, b);
+        if width <= cutoff {
+            sdlc::sim::equiv::check_exhaustive_with_engine(&netlist, width, reference, engine)
+                .map_err(|e| format!("equivalence FAILED: {e}"))?;
+            format!("exhaustive, {} operand pairs", 1u64 << (2 * width))
+        } else {
+            sdlc::sim::equiv::check_sampled_with_engine(
+                &netlist, width, samples, 0x5D1C, reference, engine,
+            )
+            .map_err(|e| format!("equivalence FAILED: {e}"))?;
+            format!("sampled, 9 corners + {samples} seeded pairs")
+        }
+    };
+    println!("OK: netlist matches model ({coverage})");
+    Ok(())
+}
+
 fn cmd_sobel(options: &Options) -> Result<(), String> {
+    reject_engine(options, "sobel")?;
     let width = options.width("sobel");
     if !(10..=32).contains(&width) {
         return Err(format!(
@@ -306,6 +388,7 @@ fn load_library(options: &Options) -> Result<Library, String> {
 }
 
 fn cmd_synth(options: &Options) -> Result<(), String> {
+    reject_engine(options, "synth")?;
     let width = options.width("synth");
     let model = build_model(options, width)?;
     let lib = load_library(options)?;
@@ -329,6 +412,7 @@ fn cmd_synth(options: &Options) -> Result<(), String> {
 }
 
 fn cmd_verilog(options: &Options) -> Result<(), String> {
+    reject_engine(options, "verilog")?;
     let width = options.width("verilog");
     let model = build_model(options, width)?;
     let mut netlist = sdlc_multiplier(&model, options.scheme);
@@ -348,6 +432,7 @@ fn cmd_verilog(options: &Options) -> Result<(), String> {
 }
 
 fn cmd_dot(options: &Options) -> Result<(), String> {
+    reject_engine(options, "dot")?;
     if options.signed {
         return Err(
             "dot draws the unsigned partial-product matrix; the signed wrapper adds no dots \
@@ -378,6 +463,7 @@ fn main() -> ExitCode {
         Err(e) => Err(e),
         Ok(options) => match command.as_str() {
             "errors" => cmd_errors(&options),
+            "verify" => cmd_verify(&options),
             "sobel" => cmd_sobel(&options),
             "synth" => cmd_synth(&options),
             "verilog" => cmd_verilog(&options),

@@ -9,10 +9,15 @@ use sdlc::core::circuits::{
 };
 use sdlc::core::{ClusterVariant, Multiplier, SdlcMultiplier};
 use sdlc::netlist::passes;
-use sdlc::sim::equiv::{check_exhaustive, check_sampled};
-use sdlc::sim::{ab_stimulus, BitParallelSim, LogicSim, TimingSim};
+use sdlc::sim::equiv::{
+    check_exhaustive, check_exhaustive_with_engine, check_sampled, check_sampled_with_engine,
+};
+use sdlc::sim::{
+    ab_stimulus, BitParallelSim, CompiledNetlist, CompiledSim, Engine, LogicSim, TimingSim,
+};
 use sdlc::techlib::Library;
 use sdlc::wideint::SplitMix64;
+use sdlc::wideint::U256;
 
 #[test]
 fn every_generator_matches_its_model_at_6_bits() {
@@ -54,7 +59,27 @@ fn optimization_passes_preserve_multiplier_behavior() {
     let stats = passes::optimize(&mut netlist);
     assert!(stats.dead_gates_removed + stats.gates_simplified > 0);
     assert!(netlist.cell_count() <= before);
-    check_exhaustive(&netlist, 8, |a, b| model.multiply(a, b)).unwrap();
+    check_exhaustive_with_engine(&netlist, 8, |a, b| model.multiply(a, b), Engine::Compiled)
+        .unwrap();
+}
+
+#[test]
+fn sdlc_circuit_matches_model_exhaustively_at_10_bits() {
+    // 2^20 = 1,048,576 operand pairs. On the scalar engine this sweep
+    // capped circuit equivalence at 8 bits; the compiled word-parallel
+    // engine packs 64 pairs per sweep and shards rows across cores,
+    // making the 10-bit exhaustive check routine CI material.
+    for depth in [2u32, 4] {
+        let model = SdlcMultiplier::new(10, depth).unwrap();
+        let netlist = sdlc_multiplier(&model, ReductionScheme::Wallace);
+        check_exhaustive_with_engine(
+            &netlist,
+            10,
+            |a, b| U256::from_u128(model.multiply_u64(a as u64, b as u64)),
+            Engine::Compiled,
+        )
+        .unwrap_or_else(|e| panic!("depth {depth}: {e}"));
+    }
 }
 
 #[test]
@@ -62,6 +87,16 @@ fn kulkarni_circuit_matches_model_at_16_bits() {
     let model = KulkarniMultiplier::new(16).unwrap();
     let netlist = kulkarni_multiplier(16, ReductionScheme::RippleRows).unwrap();
     check_sampled(&netlist, 16, 300, 7, |a, b| model.multiply(a, b)).unwrap();
+    // The compiled engine covers the identical sampled sequence.
+    check_sampled_with_engine(
+        &netlist,
+        16,
+        300,
+        7,
+        |a, b| model.multiply(a, b),
+        Engine::Compiled,
+    )
+    .unwrap();
 }
 
 #[test]
@@ -72,12 +107,14 @@ fn wide_sdlc_circuit_matches_model_at_32_bits() {
 }
 
 #[test]
-fn all_three_engines_agree_on_an_sdlc_multiplier() {
+fn all_four_engines_agree_on_an_sdlc_multiplier() {
     let model = SdlcMultiplier::new(8, 2).unwrap();
     let netlist = sdlc_multiplier(&model, ReductionScheme::RippleRows);
     let lib = Library::generic_90nm();
+    let program = CompiledNetlist::compile(&netlist);
     let mut scalar = LogicSim::new(&netlist);
     let mut parallel = BitParallelSim::new(&netlist);
+    let mut compiled = CompiledSim::new(&program);
     let mut timing = TimingSim::new(&netlist, &lib);
     timing.settle(&ab_stimulus(&netlist, 0, 0));
 
@@ -92,19 +129,25 @@ fn all_three_engines_agree_on_an_sdlc_multiplier() {
             .map(|&bit| if bit { u64::MAX } else { 0 })
             .collect();
         parallel.apply(&word_stimulus);
+        compiled.apply(&word_stimulus);
         timing.apply(&stimulus);
 
         let expect = model.multiply(a, b).to_u128().unwrap();
         assert_eq!(scalar.read_bus("p"), expect);
         assert_eq!(timing.read_bus("p"), expect);
         let p_bus = netlist.bus("p").unwrap();
-        let parallel_value: u128 = p_bus
-            .iter()
-            .enumerate()
-            .map(|(i, net)| u128::from(parallel.lane_value(*net, 17)) << i)
-            .sum();
-        assert_eq!(parallel_value, expect);
+        let lane17 = |value: &dyn Fn(&sdlc::netlist::NetId) -> bool| -> u128 {
+            p_bus
+                .iter()
+                .enumerate()
+                .map(|(i, net)| u128::from(value(net)) << i)
+                .sum()
+        };
+        assert_eq!(lane17(&|net| parallel.lane_value(*net, 17)), expect);
+        assert_eq!(lane17(&|net| compiled.lane_value(*net, 17)), expect);
     }
+    // The two word-wide engines also agree on the accumulated toggles.
+    assert_eq!(compiled.toggles_per_net(), parallel.toggles().to_vec());
 }
 
 #[test]
@@ -138,7 +181,7 @@ fn heterogeneous_depth_circuits_match_their_models() {
     for depths in [vec![4u32, 2, 2], vec![2, 2, 4], vec![6, 2], vec![2, 3, 3]] {
         let model = SdlcMultiplier::with_group_depths(8, &depths).unwrap();
         let netlist = sdlc_multiplier(&model, ReductionScheme::RippleRows);
-        check_exhaustive(&netlist, 8, |a, b| model.multiply(a, b))
+        check_exhaustive_with_engine(&netlist, 8, |a, b| model.multiply(a, b), Engine::Compiled)
             .unwrap_or_else(|e| panic!("{depths:?}: {e}"));
     }
 }
@@ -147,7 +190,8 @@ fn heterogeneous_depth_circuits_match_their_models() {
 fn carry_save_scheme_matches_models() {
     let model = SdlcMultiplier::new(8, 2).unwrap();
     let netlist = sdlc_multiplier(&model, ReductionScheme::CarrySaveArray);
-    check_exhaustive(&netlist, 8, |a, b| model.multiply(a, b)).unwrap();
+    check_exhaustive_with_engine(&netlist, 8, |a, b| model.multiply(a, b), Engine::Compiled)
+        .unwrap();
     let exact = accurate_multiplier(6, ReductionScheme::CarrySaveArray).unwrap();
     check_exhaustive(&exact, 6, |a, b| {
         sdlc::wideint::U256::from_u128(a).wrapping_mul(&sdlc::wideint::U256::from_u128(b))

@@ -89,6 +89,63 @@ fn errors_supports_the_signed_domain_on_both_engines() {
 }
 
 #[test]
+fn verify_checks_netlists_on_both_engines() {
+    // Default engine is the compiled word-parallel sweep.
+    let (stdout, _, ok) = run(&["verify", "--width", "8", "--depth", "2"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("sdlc8_d2_ripple"), "{stdout}");
+    assert!(stdout.contains("engine compiled"), "{stdout}");
+    assert!(
+        stdout.contains("exhaustive, 65536 operand pairs"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("OK: netlist matches model"), "{stdout}");
+    // Explicit engines: both values are accepted.
+    for engine in ["scalar", "compiled"] {
+        let (stdout, _, ok) = run(&["verify", "--width", "6", "--engine", engine]);
+        assert!(ok, "{engine}: {stdout}");
+        assert!(stdout.contains(&format!("engine {engine}")), "{stdout}");
+    }
+    // Wide designs fall back to corner + sampled coverage.
+    let (stdout, _, ok) = run(&["verify", "--width", "16", "--samples", "300"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("9 corners + 300 seeded pairs"), "{stdout}");
+    // Signed designs verify the sign-magnitude wrapper.
+    let (stdout, _, ok) = run(&["verify", "--width", "6", "--signed", "--scheme", "dadda"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("signed_sdlc6_d2_dadda"), "{stdout}");
+    assert!(stdout.contains("signed operand pairs"), "{stdout}");
+}
+
+#[test]
+fn verify_rejects_unknown_engines() {
+    let (_, stderr, ok) = run(&["verify", "--width", "8", "--engine", "warp"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown engine \"warp\""), "{stderr}");
+    assert!(
+        stderr.contains("\"scalar\" or \"compiled\""),
+        "the verify domain names its engines: {stderr}"
+    );
+    let (_, stderr, ok) = run(&["verify", "--engine"]);
+    assert!(!ok);
+    assert!(stderr.contains("needs a value"), "{stderr}");
+}
+
+#[test]
+fn engineless_commands_reject_the_engine_flag() {
+    // Commands without an engine dimension must not silently swallow a
+    // (possibly mistyped) --engine value.
+    for command in ["sobel", "synth", "verilog", "dot"] {
+        let (_, stderr, ok) = run(&[command, "--width", "12", "--engine", "compiled"]);
+        assert!(!ok, "{command} accepted --engine");
+        assert!(
+            stderr.contains("not supported by") && stderr.contains(command),
+            "{command}: {stderr}"
+        );
+    }
+}
+
+#[test]
 fn wide_sampled_runs_report_their_confidence_interval() {
     // Width ≥ 32: the 2^{2N} pair count overflows u64, which used to
     // overflow the partial-coverage shift; the CI line must print and

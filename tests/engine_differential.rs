@@ -1,0 +1,217 @@
+//! Differential proof that the compiled gate-sim engine is a bit-exact
+//! twin of the structural engines: identical values on every net,
+//! identical per-net toggle totals, identical equivalence verdicts —
+//! including the *same first* counterexample when a bug is planted.
+
+use proptest::prelude::*;
+use sdlc::core::baselines::{EtmMultiplier, KulkarniMultiplier, TruncatedMultiplier};
+use sdlc::core::circuits::{
+    accurate_multiplier, etm_multiplier, kulkarni_multiplier, sdlc_multiplier, signed_multiplier,
+    truncated_multiplier, ReductionScheme,
+};
+use sdlc::core::{Multiplier, SdlcMultiplier, SignMagnitude, SignedMultiplier};
+use sdlc::netlist::Netlist;
+use sdlc::sim::activity::random_activity_with_engine;
+use sdlc::sim::equiv::{
+    check_exhaustive_signed_with_engine, check_exhaustive_with_engine, check_sampled_with_engine,
+};
+use sdlc::sim::{BitParallelSim, CompiledNetlist, CompiledSim, Engine, LogicSim};
+use sdlc::wideint::{SplitMix64, U256};
+
+/// Builds a random feed-forward gate DAG: `inputs` primary inputs, then
+/// `ops` gates whose kinds and source nets are decoded from the seeds.
+/// Deliberately includes buffers, constants and muxes so compile-time
+/// folding is exercised, not just the arithmetic cells.
+fn random_dag(inputs: u32, ops: &[(u8, u32, u32, u32)]) -> Netlist {
+    let mut n = Netlist::new("dag");
+    let mut nets = n.add_input_bus("a", inputs);
+    for &(kind, s0, s1, s2) in ops {
+        let pick = |s: u32| nets[s as usize % nets.len()];
+        let (a, b, c) = (pick(s0), pick(s1), pick(s2));
+        let out = match kind % 11 {
+            0 => n.buf(a),
+            1 => n.not(a),
+            2 => n.and2(a, b),
+            3 => n.or2(a, b),
+            4 => n.nand2(a, b),
+            5 => n.nor2(a, b),
+            6 => n.xor2(a, b),
+            7 => n.xnor2(a, b),
+            8 => n.mux2(a, b, c),
+            9 => {
+                let zero = n.const0();
+                n.or2(a, zero)
+            }
+            _ => {
+                let one = n.const1();
+                n.and2(b, one)
+            }
+        };
+        nets.push(out);
+    }
+    let outs: Vec<_> = nets.iter().rev().take(8).copied().collect();
+    n.set_output_bus("p", outs);
+    n
+}
+
+proptest! {
+    /// On random gate DAGs, the compiled program and the structural
+    /// engines agree on every net's value in every lane, and on every
+    /// net's toggle count — across a multi-word stimulus stream.
+    #[test]
+    fn compiled_matches_structural_on_random_dags(
+        inputs in 1u32..7,
+        ops in prop::collection::vec((any::<u8>(), any::<u32>(), any::<u32>(), any::<u32>()), 1..48),
+        seed in any::<u64>(),
+    ) {
+        let n = random_dag(inputs, &ops);
+        n.validate().unwrap();
+        let program = CompiledNetlist::compile(&n);
+        let mut compiled = CompiledSim::new(&program);
+        let mut structural = BitParallelSim::new(&n);
+        let mut rng = SplitMix64::new(seed);
+        let words: Vec<Vec<u64>> = (0..4)
+            .map(|_| (0..inputs).map(|_| rng.next_u64()).collect())
+            .collect();
+        for word in &words {
+            compiled.apply(word);
+            structural.apply(word);
+        }
+        for gate in n.gates() {
+            let net = gate.output;
+            for lane in [0u32, 17, 63] {
+                prop_assert_eq!(
+                    compiled.lane_value(net, lane),
+                    structural.lane_value(net, lane),
+                    "net {} lane {}", net, lane
+                );
+            }
+        }
+        prop_assert_eq!(compiled.toggles_per_net(), structural.toggles().to_vec());
+
+        // And one lane against the scalar reference engine.
+        let mut scalar = LogicSim::new(&n);
+        for word in &words {
+            let bits: Vec<bool> = word.iter().map(|&w| (w >> 11) & 1 == 1).collect();
+            scalar.apply(&bits);
+        }
+        for gate in n.gates() {
+            prop_assert_eq!(
+                compiled.lane_value(gate.output, 11),
+                scalar.value(gate.output),
+                "net {}", gate.output
+            );
+        }
+    }
+}
+
+/// Every circuit generator family passes its model check identically on
+/// both engines, and its activity capture produces identical toggles.
+#[test]
+fn every_generator_agrees_across_engines() {
+    let scheme = ReductionScheme::RippleRows;
+    let sdlc4 = SdlcMultiplier::new(6, 4).unwrap();
+    let trunc = TruncatedMultiplier::new(6, 3).unwrap();
+    let etm = EtmMultiplier::new(6).unwrap();
+    let sdlc2 = SdlcMultiplier::new(6, 2).unwrap();
+    let netlists: Vec<(Netlist, Box<dyn Fn(u128, u128) -> U256 + Sync>)> = vec![
+        (
+            accurate_multiplier(6, scheme).unwrap(),
+            Box::new(|a, b| U256::from_u128(a).wrapping_mul(&U256::from_u128(b))),
+        ),
+        (
+            sdlc_multiplier(&sdlc2, scheme),
+            Box::new(move |a, b| sdlc2.multiply(a, b)),
+        ),
+        (
+            sdlc_multiplier(&sdlc4, scheme),
+            Box::new(move |a, b| sdlc4.multiply(a, b)),
+        ),
+        (
+            truncated_multiplier(&trunc, scheme),
+            Box::new(move |a, b| trunc.multiply(a, b)),
+        ),
+        (
+            etm_multiplier(6, scheme).unwrap(),
+            Box::new(move |a, b| etm.multiply(a, b)),
+        ),
+    ];
+    for (netlist, model) in &netlists {
+        check_exhaustive_with_engine(netlist, 6, model, Engine::Compiled)
+            .unwrap_or_else(|e| panic!("{}: {e}", netlist.name()));
+        let compiled = random_activity_with_engine(netlist, 0xD1FF, 320, Engine::Compiled);
+        let structural = random_activity_with_engine(netlist, 0xD1FF, 320, Engine::Scalar);
+        assert_eq!(compiled, structural, "{}", netlist.name());
+    }
+    // Kulkarni requires power-of-two widths; cover it at 8 bits.
+    let kulkarni = KulkarniMultiplier::new(8).unwrap();
+    let kulkarni_netlist = kulkarni_multiplier(8, scheme).unwrap();
+    check_exhaustive_with_engine(
+        &kulkarni_netlist,
+        8,
+        |a, b| kulkarni.multiply(a, b),
+        Engine::Compiled,
+    )
+    .unwrap();
+    assert_eq!(
+        random_activity_with_engine(&kulkarni_netlist, 0xD1FF, 320, Engine::Compiled),
+        random_activity_with_engine(&kulkarni_netlist, 0xD1FF, 320, Engine::Scalar),
+    );
+    // The signed periphery (conditional negation, mux trees) too.
+    let signed_model = SignMagnitude::new(SdlcMultiplier::new(6, 2).unwrap());
+    let signed_netlist = signed_multiplier(&sdlc_multiplier(signed_model.inner(), scheme), 6);
+    check_exhaustive_signed_with_engine(
+        &signed_netlist,
+        6,
+        |a, b| signed_model.multiply_signed(a, b),
+        Engine::Compiled,
+    )
+    .unwrap();
+    let compiled = random_activity_with_engine(&signed_netlist, 3, 256, Engine::Compiled);
+    let structural = random_activity_with_engine(&signed_netlist, 3, 256, Engine::Scalar);
+    assert_eq!(compiled, structural);
+}
+
+/// A planted model bug must surface as the *same first* counterexample
+/// on both engines — the compiled sweep's thread sharding and 64-lane
+/// packing may not reorder mismatch discovery.
+#[test]
+fn planted_bug_yields_identical_first_counterexample() {
+    let model = SdlcMultiplier::new(6, 2).unwrap();
+    let netlist = sdlc_multiplier(&model, ReductionScheme::Wallace);
+    // Wrong exactly on a stripe in the middle of the sweep.
+    let wrong = |a: u128, b: u128| {
+        let p = model.multiply(a, b);
+        if a == 37 && b >= 21 {
+            p.wrapping_add(&U256::ONE)
+        } else {
+            p
+        }
+    };
+    let scalar = check_exhaustive_with_engine(&netlist, 6, wrong, Engine::Scalar).unwrap_err();
+    let compiled = check_exhaustive_with_engine(&netlist, 6, wrong, Engine::Compiled).unwrap_err();
+    assert_eq!(scalar, compiled);
+    assert_eq!((scalar.a, scalar.b), (37, 21));
+
+    // Sampled sweeps: the corner cases and seeded draw order are shared,
+    // so the first failing *sample* matches as well.
+    let wrong_everywhere = |a: u128, b: u128| model.multiply(a, b).wrapping_add(&U256::ONE);
+    let scalar = check_sampled_with_engine(&netlist, 6, 100, 7, wrong_everywhere, Engine::Scalar)
+        .unwrap_err();
+    let compiled =
+        check_sampled_with_engine(&netlist, 6, 100, 7, wrong_everywhere, Engine::Compiled)
+            .unwrap_err();
+    assert_eq!(scalar, compiled);
+}
+
+/// The compiled engine's verdict is also *positive*-identical: a passing
+/// design passes on both engines over the same sampled sequence.
+#[test]
+fn sampled_verdicts_match_on_wide_designs() {
+    let model = SdlcMultiplier::new(16, 3).unwrap();
+    let netlist = sdlc_multiplier(&model, ReductionScheme::Dadda);
+    for engine in [Engine::Scalar, Engine::Compiled] {
+        check_sampled_with_engine(&netlist, 16, 200, 5, |a, b| model.multiply(a, b), engine)
+            .unwrap_or_else(|e| panic!("{engine}: {e}"));
+    }
+}
