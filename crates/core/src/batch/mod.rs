@@ -212,6 +212,42 @@ pub fn extract_product_lanes(planes: &[u64], out: &mut [u64; LANES]) {
     }
 }
 
+/// Evaluates one exhaustive-sweep block through a bit-sliced model:
+/// `out[i]` receives the model's product for `(a, b0 + i)` across all
+/// [`LANES`] consecutive `b` values. This is the model side of
+/// `sdlc-sim`'s batched equivalence checks (`check_exhaustive_batched`):
+/// the netlist sweep packs 64 pairs per compiled evaluation, and feeding
+/// the reference model pair-by-pair would dominate the check from
+/// ~10-bit operands up.
+///
+/// # Panics
+///
+/// Panics if `a` does not fit the model's width.
+///
+/// # Examples
+///
+/// ```
+/// use sdlc_core::batch::{exhaustive_block, Batchable, LANES};
+/// use sdlc_core::{Multiplier, SdlcMultiplier};
+///
+/// let model = SdlcMultiplier::new(8, 2)?;
+/// let batch = model.batch_model();
+/// let mut out = [0u64; LANES];
+/// exhaustive_block(&batch, 200, 64, &mut out);
+/// for (i, &p) in out.iter().enumerate() {
+///     assert_eq!(u128::from(p), model.multiply_u64(200, 64 + i as u64));
+/// }
+/// # Ok::<(), sdlc_core::SpecError>(())
+/// ```
+pub fn exhaustive_block(batch: &impl BatchMultiplier, a: u64, b0: u64, out: &mut [u64; LANES]) {
+    let width = batch.width() as usize;
+    let mut b_planes = [0u64; BATCH_MAX_WIDTH as usize];
+    sdlc_wideint::bitplane::counter_planes(b0, batch.width(), &mut b_planes[..width]);
+    let mut product = [0u64; LANES];
+    batch.multiply_planes_bcast(a, &b_planes[..width], &mut product[..2 * width]);
+    extract_product_lanes(&product[..2 * width], out);
+}
+
 /// Validates a scalar model's width for batching.
 pub(crate) fn check_batch_width(width: u32) -> u32 {
     assert!(

@@ -8,13 +8,19 @@
 //! toggle totals bit-identical to the structural [`BitParallelSim`]
 //! (select explicitly via [`random_activity_with_engine`]);
 //! [`timing_activity`] does the same through the event-driven engine to
-//! include glitch power (practical up to mid-size multipliers).
+//! include glitch power, and [`timing_activity_with_engine`] selects
+//! between that scalar reference and [`glitch_activity`], the compiled
+//! word-parallel glitch backend (64 lane streams per sweep, identical
+//! inertial-delay transition accounting) that the synthesis flow uses by
+//! default.
 
 use sdlc_netlist::Netlist;
 use sdlc_techlib::Library;
+use sdlc_wideint::parallel::parallel_shard_chunks;
 use sdlc_wideint::SplitMix64;
 
 use crate::compile::{CompiledNetlist, CompiledSim};
+use crate::glitch::{GlitchSim, TimedProgram};
 use crate::logic::ab_stimulus;
 use crate::parallel::BitParallelSim;
 use crate::timing::TimingSim;
@@ -195,6 +201,129 @@ pub fn timing_activity(netlist: &Netlist, library: &Library, seed: u64, vectors:
     }
 }
 
+/// [`timing_activity`] dispatched on an [`Engine`]: [`Engine::Scalar`] is
+/// the event-driven [`TimingSim`] reference above; [`Engine::Compiled`]
+/// runs the word-parallel [`GlitchSim`] backend — the default the
+/// `sdlc-synth` glitch-power flow rides.
+///
+/// Both engines count transitions with identical inertial-delay semantics
+/// (the differential suite proves per-net totals match exactly for
+/// identical streams), but they organize their stimulus differently —
+/// 16 sequential scalar shards versus [`GLITCH_GROUPS`] × 64 compiled
+/// lane streams — so the two estimates differ by sampling variation, not
+/// by model. Each engine is deterministic in `(netlist, seed, vectors)`
+/// and independent of the machine's core count.
+///
+/// # Panics
+///
+/// Panics if `vectors == 0` or the netlist lacks `a`/`b` buses.
+#[must_use]
+pub fn timing_activity_with_engine(
+    netlist: &Netlist,
+    library: &Library,
+    seed: u64,
+    vectors: u64,
+    engine: Engine,
+) -> Activity {
+    match engine {
+        Engine::Scalar => timing_activity(netlist, library, seed, vectors),
+        Engine::Compiled => glitch_activity(netlist, library, seed, vectors),
+    }
+}
+
+/// Fixed stream-group count of the compiled glitch backend: the stimulus
+/// is organized as up to 8 groups of 64 lane streams, so results never
+/// depend on the machine's core count (groups are what the workers split).
+pub const GLITCH_GROUPS: u64 = 8;
+
+/// Runs `vectors` random operand pairs (rounded up to fill whole 64-lane
+/// words) through the compiled glitch engine. Requires the `a`/`b`/`p`
+/// port convention, like [`timing_activity`].
+///
+/// # Panics
+///
+/// Panics if `vectors == 0` or the netlist lacks `a`/`b` buses.
+#[must_use]
+pub fn glitch_activity(netlist: &Netlist, library: &Library, seed: u64, vectors: u64) -> Activity {
+    assert!(vectors > 0, "need at least one vector");
+    let bus_a = netlist.bus("a").expect("input bus `a`");
+    let bus_b = netlist.bus("b").expect("input bus `b`");
+    // Map each primary input to its operand bus and bit position once.
+    let input_src: Vec<(bool, u32)> = netlist
+        .inputs()
+        .iter()
+        .map(|&input| {
+            if let Some(j) = bus_a.iter().position(|&n| n == input) {
+                (false, j as u32)
+            } else {
+                let j = bus_b
+                    .iter()
+                    .position(|&n| n == input)
+                    .expect("net in a bus");
+                (true, j as u32)
+            }
+        })
+        .collect();
+    let (wa, wb) = (bus_a.len() as u32, bus_b.len() as u32);
+    let program = TimedProgram::compile(netlist, library);
+    let groups = GLITCH_GROUPS.min(vectors.div_ceil(64)).max(1);
+    // Counted words per group; each carries 64 lane transitions.
+    let words = vectors.div_ceil(groups * 64);
+    let draw = |bits: u32, rng: &mut SplitMix64| -> u128 {
+        if bits <= 64 {
+            u128::from(rng.next_bits(bits))
+        } else {
+            (u128::from(rng.next_bits(bits - 64)) << 64) | u128::from(rng.next_u64())
+        }
+    };
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let group_ids: Vec<u64> = (0..groups).collect();
+    let partials = parallel_shard_chunks(&group_ids, threads, |ids| {
+        let mut toggles = vec![0u64; netlist.net_count()];
+        for &group in ids {
+            let mut rngs: Vec<SplitMix64> = (0..64)
+                .map(|lane| {
+                    SplitMix64::new(seed ^ (group * 64 + lane).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                })
+                .collect();
+            let mut stimulus = vec![0u64; netlist.inputs().len()];
+            let mut draw_word = |stimulus: &mut [u64]| {
+                stimulus.fill(0);
+                for (lane, rng) in rngs.iter_mut().enumerate() {
+                    let a = draw(wa, rng);
+                    let b = draw(wb, rng);
+                    for (word, &(is_b, bit)) in stimulus.iter_mut().zip(&input_src) {
+                        let operand = if is_b { b } else { a };
+                        *word |= (((operand >> bit) & 1) as u64) << lane;
+                    }
+                }
+            };
+            let mut sim = GlitchSim::new(&program);
+            draw_word(&mut stimulus);
+            sim.settle(&stimulus); // establishes state, uncounted
+            for _ in 0..words {
+                draw_word(&mut stimulus);
+                let _ = sim.apply(&stimulus);
+            }
+            for (total, t) in toggles.iter_mut().zip(sim.toggles_per_net()) {
+                *total += t;
+            }
+        }
+        toggles
+    });
+    let mut totals = vec![0u64; netlist.net_count()];
+    for partial in partials {
+        for (total, t) in totals.iter_mut().zip(partial) {
+            *total += t;
+        }
+    }
+    Activity {
+        toggles_per_net: totals,
+        transition_count: groups * words * 64,
+        includes_glitches: true,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +388,30 @@ mod tests {
     fn zero_vectors_rejected() {
         let n = adder(4);
         let _ = random_activity(&n, 1, 0);
+    }
+
+    #[test]
+    fn glitch_activity_is_deterministic_and_glitchy() {
+        let n = adder(8);
+        let lib = Library::generic_90nm();
+        let a1 = timing_activity_with_engine(&n, &lib, 21, 512, Engine::Compiled);
+        let a2 = glitch_activity(&n, &lib, 21, 512);
+        assert_eq!(a1, a2);
+        assert!(a1.includes_glitches);
+        assert_eq!(a1.transition_count, 512);
+        let other_seed = glitch_activity(&n, &lib, 22, 512);
+        assert_ne!(a1.toggles_per_net, other_seed.toggles_per_net);
+        // Glitching can only add transitions on top of the zero-delay
+        // estimate (same uniform stimulus model, independent streams).
+        let zero_delay = random_activity(&n, 21, 512);
+        assert!(a1.mean_activity() >= zero_delay.mean_activity() * 0.9);
+        // Both timing engines see the same per-transition scale.
+        let scalar = timing_activity_with_engine(&n, &lib, 21, 512, Engine::Scalar);
+        let rel = (a1.mean_activity() - scalar.mean_activity()).abs() / scalar.mean_activity();
+        assert!(rel < 0.15, "engines diverge: {rel}");
+        // Tiny runs (fewer vectors than one 64-lane word) still work.
+        let tiny = glitch_activity(&n, &lib, 5, 3);
+        assert_eq!(tiny.transition_count, 64);
     }
 
     #[test]

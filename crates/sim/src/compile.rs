@@ -1,4 +1,4 @@
-//! Compiled netlist evaluation: flatten once, sweep word-wide.
+//! Compiled netlist evaluation: flatten once, fold hard, sweep word-wide.
 //!
 //! The structural engines ([`crate::LogicSim`], [`crate::BitParallelSim`])
 //! re-walk the [`Netlist`] for every vector: per-gate enum dispatch, a
@@ -9,6 +9,16 @@
 //!
 //! * **Constant folding** — `Const0`/`Const1` gates become two reserved
 //!   value slots (always `0` / all-ones); no opcode is emitted for them.
+//! * **Constant propagation** — gates *fed* by the const slots fold too:
+//!   `AND(x, 1)` aliases `x`, `OR(x, 1)` aliases const-1, `XOR(x, 1)`
+//!   rewrites to `NOT x`, a mux with a constant select aliases the chosen
+//!   data pin, and so on, cascading through the whole cone.
+//! * **Degenerate gates** — same-source gates collapse (`AND(x, x)` is
+//!   `x`, `XOR(x, x)` is const-0, `NAND(x, x)` is `NOT x`), and
+//!   `NOT(NOT x)` chases back to `x`.
+//! * **Common-subexpression sharing** — two surviving gates with the same
+//!   opcode and (commutatively canonicalized) source slots share one op;
+//!   the second aliases the first's output slot.
 //! * **Buffer chasing** — a `Buf` gate emits no opcode either: its output
 //!   net aliases its source's slot, and chains collapse transitively.
 //! * **Pre-mapped ports** — primary inputs get dedicated slots in
@@ -16,30 +26,39 @@
 //!   value array; any net (including bus bits) resolves to its slot once
 //!   via [`CompiledNetlist::slot_of`].
 //!
+//! Every fold preserves the boolean function of each net, so the per-net
+//! value stream — and therefore the per-net toggle count — is bit-identical
+//! to the structural engines' (the differential suite proves it). The
+//! program also records each op's **topological level** (1 + the maximum
+//! level of its sources; inputs and constants are level 0), which is what
+//! the levelized intra-netlist executor in [`crate::leveled`] shards
+//! across worker threads.
+//!
 //! The executor, [`CompiledSim`], evaluates 64 independent vectors per
 //! sweep exactly like [`crate::BitParallelSim`] — lane `i` of every value
 //! word is stimulus stream `i` — but its inner loop reads compact opcodes
 //! and `u32` slot indices from flat arrays instead of matching on gate
 //! structs. [`CompiledSim::apply`] keeps the same lane-wise toggle
-//! accounting (bit-identical per-net totals, proven by the differential
-//! suite); [`CompiledSim::evaluate`] skips it for equivalence sweeps where
-//! only final values matter.
+//! accounting; [`CompiledSim::evaluate`] skips it for equivalence sweeps
+//! where only final values matter.
+
+use std::collections::HashMap;
 
 use sdlc_netlist::{GateKind, NetId, Netlist};
 
 /// Slot holding the folded constant-0 plane.
-const SLOT_CONST0: u32 = 0;
+pub(crate) const SLOT_CONST0: u32 = 0;
 /// Slot holding the folded constant-1 plane.
-const SLOT_CONST1: u32 = 1;
+pub(crate) const SLOT_CONST1: u32 = 1;
 
 /// Compact opcode of one compiled operation.
 ///
 /// `Input`, `Const0`, `Const1` and `Buf` never appear: inputs are written
 /// directly into their slots, constants fold into the two reserved slots,
 /// and buffers alias their source slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
-enum OpCode {
+pub(crate) enum OpCode {
     And,
     Or,
     Nand,
@@ -48,6 +67,132 @@ enum OpCode {
     Xnor,
     Not,
     Mux,
+}
+
+/// Outcome of folding one gate: either it needs no op (its output net
+/// aliases an existing slot) or it survives as a (possibly rewritten) op.
+enum Folded {
+    Alias(u32),
+    Op(OpCode, u32, u32, u32),
+}
+
+/// Applies the constant-propagation / degenerate-gate rewrite rules until
+/// fixpoint. `not_source` maps the output slot of every emitted `NOT` op
+/// back to its source slot, which is what lets `NOT(NOT x)` alias `x`.
+fn fold(
+    mut opcode: OpCode,
+    mut a: u32,
+    mut b: u32,
+    c: u32,
+    not_source: &HashMap<u32, u32>,
+) -> Folded {
+    loop {
+        // Canonicalize commutative operand order (const slots are 0/1 and
+        // therefore always sort into `a`, so the rules below only need to
+        // test one side).
+        if !matches!(opcode, OpCode::Not | OpCode::Mux) && a > b {
+            core::mem::swap(&mut a, &mut b);
+        }
+        let rewrite_not = |x: u32| Folded::Op(OpCode::Not, x, x, x);
+        return match opcode {
+            OpCode::Not => {
+                if a == SLOT_CONST0 {
+                    Folded::Alias(SLOT_CONST1)
+                } else if a == SLOT_CONST1 {
+                    Folded::Alias(SLOT_CONST0)
+                } else if let Some(&source) = not_source.get(&a) {
+                    Folded::Alias(source)
+                } else {
+                    rewrite_not(a)
+                }
+            }
+            // Sources are [sel, a, b]: sel ? b : a (slots sel=a, lo=b, hi=c).
+            OpCode::Mux => {
+                let (sel, lo, hi) = (a, b, c);
+                if sel == SLOT_CONST0 {
+                    Folded::Alias(lo)
+                } else if sel == SLOT_CONST1 || lo == hi {
+                    Folded::Alias(hi)
+                } else if lo == SLOT_CONST0 && hi == SLOT_CONST1 {
+                    Folded::Alias(sel)
+                } else if lo == SLOT_CONST1 && hi == SLOT_CONST0 {
+                    rewrite_not(sel)
+                } else if lo == SLOT_CONST0 {
+                    // sel ? hi : 0
+                    (opcode, a, b) = (OpCode::And, sel, hi);
+                    continue;
+                } else if hi == SLOT_CONST1 {
+                    // sel ? 1 : lo
+                    (opcode, a, b) = (OpCode::Or, sel, lo);
+                    continue;
+                } else {
+                    Folded::Op(OpCode::Mux, sel, lo, hi)
+                }
+            }
+            OpCode::And => {
+                if a == SLOT_CONST0 {
+                    Folded::Alias(SLOT_CONST0)
+                } else if a == SLOT_CONST1 || a == b {
+                    Folded::Alias(b)
+                } else {
+                    Folded::Op(opcode, a, b, a)
+                }
+            }
+            OpCode::Or => {
+                if a == SLOT_CONST0 || a == b {
+                    Folded::Alias(b)
+                } else if a == SLOT_CONST1 {
+                    Folded::Alias(SLOT_CONST1)
+                } else {
+                    Folded::Op(opcode, a, b, a)
+                }
+            }
+            OpCode::Nand => {
+                if a == SLOT_CONST0 {
+                    Folded::Alias(SLOT_CONST1)
+                } else if a == SLOT_CONST1 || a == b {
+                    (opcode, a) = (OpCode::Not, b);
+                    continue;
+                } else {
+                    Folded::Op(opcode, a, b, a)
+                }
+            }
+            OpCode::Nor => {
+                if a == SLOT_CONST0 || a == b {
+                    (opcode, a) = (OpCode::Not, b);
+                    continue;
+                } else if a == SLOT_CONST1 {
+                    Folded::Alias(SLOT_CONST0)
+                } else {
+                    Folded::Op(opcode, a, b, a)
+                }
+            }
+            OpCode::Xor => {
+                if a == SLOT_CONST0 {
+                    Folded::Alias(b)
+                } else if a == SLOT_CONST1 {
+                    (opcode, a) = (OpCode::Not, b);
+                    continue;
+                } else if a == b {
+                    Folded::Alias(SLOT_CONST0)
+                } else {
+                    Folded::Op(opcode, a, b, a)
+                }
+            }
+            OpCode::Xnor => {
+                if a == SLOT_CONST0 {
+                    (opcode, a) = (OpCode::Not, b);
+                    continue;
+                } else if a == SLOT_CONST1 {
+                    Folded::Alias(b)
+                } else if a == b {
+                    Folded::Alias(SLOT_CONST1)
+                } else {
+                    Folded::Op(opcode, a, b, a)
+                }
+            }
+        };
+    }
 }
 
 /// A [`Netlist`] flattened into a dense, cache-friendly program.
@@ -80,11 +225,14 @@ enum OpCode {
 #[derive(Debug, Clone)]
 pub struct CompiledNetlist {
     // Struct-of-arrays program, one entry per non-folded logic op.
-    code: Vec<OpCode>,
-    src0: Vec<u32>,
-    src1: Vec<u32>,
-    src2: Vec<u32>,
-    dst: Vec<u32>,
+    pub(crate) code: Vec<OpCode>,
+    pub(crate) src0: Vec<u32>,
+    pub(crate) src1: Vec<u32>,
+    pub(crate) src2: Vec<u32>,
+    pub(crate) dst: Vec<u32>,
+    /// Topological level per op: 1 + max level of its source slots
+    /// (inputs and constants are level 0).
+    pub(crate) level: Vec<u32>,
     /// Net index → value-slot index (aliased for folded gates).
     slot_of_net: Vec<u32>,
     /// Slot per primary input, in declaration order.
@@ -104,13 +252,16 @@ impl CompiledNetlist {
     pub fn compile(netlist: &Netlist) -> Self {
         let mut slot_of_net = vec![u32::MAX; netlist.net_count()];
         let mut input_slots = Vec::with_capacity(netlist.inputs().len());
-        // Slots 0/1 are the folded constants.
-        let mut next_slot = 2u32;
+        // Slots 0/1 are the folded constants; both sit at level 0.
+        let mut slot_level: Vec<u32> = vec![0, 0];
         let mut code = Vec::new();
         let mut src0 = Vec::new();
         let mut src1 = Vec::new();
         let mut src2 = Vec::new();
         let mut dst = Vec::new();
+        let mut level = Vec::new();
+        let mut shared: HashMap<(OpCode, u32, u32, u32), u32> = HashMap::new();
+        let mut not_source: HashMap<u32, u32> = HashMap::new();
         let slot = |table: &[u32], net: NetId| -> u32 {
             let s = table[net.index()];
             assert!(s != u32::MAX, "net {net} read before it is driven");
@@ -120,9 +271,10 @@ impl CompiledNetlist {
             let out = gate.output.index();
             match gate.kind {
                 GateKind::Input => {
-                    slot_of_net[out] = next_slot;
-                    input_slots.push(next_slot);
-                    next_slot += 1;
+                    let s = slot_level.len() as u32;
+                    slot_of_net[out] = s;
+                    input_slots.push(s);
+                    slot_level.push(0);
                 }
                 GateKind::Const0 => slot_of_net[out] = SLOT_CONST0,
                 GateKind::Const1 => slot_of_net[out] = SLOT_CONST1,
@@ -154,13 +306,33 @@ impl CompiledNetlist {
                     } else {
                         a
                     };
-                    code.push(opcode);
-                    src0.push(a);
-                    src1.push(b);
-                    src2.push(c);
-                    dst.push(next_slot);
-                    slot_of_net[out] = next_slot;
-                    next_slot += 1;
+                    match fold(opcode, a, b, c, &not_source) {
+                        Folded::Alias(s) => slot_of_net[out] = s,
+                        Folded::Op(opcode, a, b, c) => {
+                            if let Some(&existing) = shared.get(&(opcode, a, b, c)) {
+                                // Common subexpression: share the earlier
+                                // gate's op and slot.
+                                slot_of_net[out] = existing;
+                                continue;
+                            }
+                            let d = slot_level.len() as u32;
+                            code.push(opcode);
+                            src0.push(a);
+                            src1.push(b);
+                            src2.push(c);
+                            dst.push(d);
+                            let op_level = 1 + slot_level[a as usize]
+                                .max(slot_level[b as usize])
+                                .max(slot_level[c as usize]);
+                            level.push(op_level);
+                            slot_level.push(op_level);
+                            shared.insert((opcode, a, b, c), d);
+                            if opcode == OpCode::Not {
+                                not_source.insert(d, a);
+                            }
+                            slot_of_net[out] = d;
+                        }
+                    }
                 }
             }
         }
@@ -170,9 +342,10 @@ impl CompiledNetlist {
             src1,
             src2,
             dst,
+            level,
             slot_of_net,
             input_slots,
-            slot_count: next_slot as usize,
+            slot_count: slot_level.len(),
         }
     }
 
@@ -208,6 +381,41 @@ impl CompiledNetlist {
     #[must_use]
     pub fn net_count(&self) -> usize {
         self.slot_of_net.len()
+    }
+
+    /// Topological level of each op, in program order (1 + the maximum
+    /// level of its sources; inputs and constants are level 0). Ops on the
+    /// same level are mutually independent — the levelized executor's
+    /// sharding invariant.
+    #[must_use]
+    pub fn op_levels(&self) -> &[u32] {
+        &self.level
+    }
+
+    /// Deepest op level (0 for a program with no ops).
+    #[must_use]
+    pub fn max_level(&self) -> u32 {
+        self.level.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Scatters per-slot toggle counts back to the source netlist's net
+    /// indexing (folded nets report their alias target's count, which
+    /// equals what the structural engines count for them: every fold
+    /// preserves the net's boolean function, so its value stream — and
+    /// toggle count — is the alias target's). Dead nets — left behind
+    /// without a driver by `sdlc-netlist`'s DCE pass, which keeps net
+    /// numbering stable — never move and report 0.
+    pub(crate) fn scatter_toggles(&self, toggles: &[u64]) -> Vec<u64> {
+        self.slot_of_net
+            .iter()
+            .map(|&slot| {
+                if slot == u32::MAX {
+                    0
+                } else {
+                    toggles[slot as usize]
+                }
+            })
+            .collect()
     }
 }
 
@@ -274,17 +482,7 @@ impl<'p> CompiledSim<'p> {
         for ((((&code, &s0), &s1), &s2), &d) in ops {
             let a = values[s0 as usize];
             let b = values[s1 as usize];
-            let new = match code {
-                OpCode::And => a & b,
-                OpCode::Or => a | b,
-                OpCode::Nand => !(a & b),
-                OpCode::Nor => !(a | b),
-                OpCode::Xor => a ^ b,
-                OpCode::Xnor => !(a ^ b),
-                OpCode::Not => !a,
-                // Inputs are [sel, a, b]: sel ? b : a.
-                OpCode::Mux => (b & !a) | (values[s2 as usize] & a),
-            };
+            let new = eval_op(code, a, b, values[s2 as usize]);
             let d = d as usize;
             if TOGGLED {
                 toggles[d] += u64::from((values[d] ^ new).count_ones());
@@ -339,17 +537,12 @@ impl<'p> CompiledSim<'p> {
     }
 
     /// Per-net toggle counts summed over all 64 lanes, scattered back to
-    /// the source netlist's net indexing (folded nets report their
-    /// source slot's count, which equals what the structural engines
-    /// count for them: a buffer's output transitions exactly when its
-    /// input does, and constants never do).
+    /// the source netlist's net indexing (folded nets report their alias
+    /// target's count — identical to the structural engines, since every
+    /// fold preserves the net's boolean function).
     #[must_use]
     pub fn toggles_per_net(&self) -> Vec<u64> {
-        self.program
-            .slot_of_net
-            .iter()
-            .map(|&slot| self.toggles[slot as usize])
-            .collect()
+        self.program.scatter_toggles(&self.toggles)
     }
 
     /// Number of stimulus words applied with toggle accounting.
@@ -363,6 +556,23 @@ impl<'p> CompiledSim<'p> {
     #[must_use]
     pub fn transition_vectors(&self) -> u64 {
         self.words_applied.saturating_sub(1) * 64
+    }
+}
+
+/// One word-wide op evaluation — shared by the sequential executor and the
+/// levelized multi-threaded one.
+#[inline]
+pub(crate) fn eval_op(code: OpCode, a: u64, b: u64, c: u64) -> u64 {
+    match code {
+        OpCode::And => a & b,
+        OpCode::Or => a | b,
+        OpCode::Nand => !(a & b),
+        OpCode::Nor => !(a | b),
+        OpCode::Xor => a ^ b,
+        OpCode::Xnor => !(a ^ b),
+        OpCode::Not => !a,
+        // Sources are [sel, a, b]: sel ? b : a.
+        OpCode::Mux => (b & !a) | (c & a),
     }
 }
 
@@ -409,21 +619,22 @@ mod tests {
     }
 
     #[test]
-    fn constants_and_buffers_fold() {
+    fn constants_and_buffers_fold_through_the_whole_cone() {
         let mut n = Netlist::new("folded");
         let a = n.add_input("a");
         let one = n.const1();
         let zero = n.const0();
         let b1 = n.buf(a);
         let b2 = n.buf(b1);
-        let x = n.and2(b2, one);
-        let y = n.or2(x, zero);
+        let x = n.and2(b2, one); // == a
+        let y = n.or2(x, zero); // == a
         n.set_output_bus("y", vec![y]);
         let program = CompiledNetlist::compile(&n);
-        // Only the AND and OR execute; consts and both bufs fold away.
-        assert_eq!(program.op_count(), 2);
-        // Buf chain aliases: b2 shares a's slot.
+        // Constant propagation eats the whole cone: both logic gates
+        // alias `a` and nothing executes.
+        assert_eq!(program.op_count(), 0);
         assert_eq!(program.slot_of(b2), program.slot_of(a));
+        assert_eq!(program.slot_of(y), program.slot_of(a));
         let mut sim = CompiledSim::new(&program);
         sim.evaluate(&[0xF0F0]);
         assert_eq!(sim.plane(y), 0xF0F0);
@@ -433,8 +644,137 @@ mod tests {
         sim.apply(&[0b11]);
         let toggles = sim.toggles_per_net();
         assert_eq!(toggles[b2.index()], toggles[a.index()]);
+        assert_eq!(toggles[y.index()], toggles[a.index()]);
         assert_eq!(toggles[one.index()], 0);
         assert_eq!(toggles[zero.index()], 0);
+    }
+
+    #[test]
+    fn constant_propagation_rewrites_and_cascades() {
+        let mut n = Netlist::new("constprop");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let one = n.const1();
+        let zero = n.const0();
+        // NAND(a, 1) -> NOT a (one op), then XNOR(that, 0) -> NOT(NOT a)
+        // -> alias a; OR(b, 1) -> const1; NOR(b, 0) -> NOT b.
+        let not_a = n.nand2(a, one);
+        let back = n.xnor2(not_a, zero);
+        let always = n.or2(b, one);
+        let not_b = n.nor2(b, zero);
+        let xor_same = n.xor2(b, b); // -> const0
+        n.set_output_bus("y", vec![not_a, back, always, not_b, xor_same]);
+        let program = CompiledNetlist::compile(&n);
+        // Only the two NOTs survive.
+        assert_eq!(program.op_count(), 2);
+        assert_eq!(program.slot_of(back), program.slot_of(a));
+        assert_eq!(program.slot_of(always), SLOT_CONST1 as usize);
+        assert_eq!(program.slot_of(xor_same), SLOT_CONST0 as usize);
+        let mut compiled = CompiledSim::new(&program);
+        let mut structural = BitParallelSim::new(&n);
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..6 {
+            let stimulus: Vec<u64> = (0..2).map(|_| rng.next_u64()).collect();
+            compiled.apply(&stimulus);
+            structural.apply(&stimulus);
+        }
+        for gate in n.gates() {
+            let id = gate.output;
+            let mut plane = 0u64;
+            for lane in 0..64 {
+                plane |= u64::from(structural.lane_value(id, lane)) << lane;
+            }
+            assert_eq!(compiled.plane(id), plane, "net {id}");
+        }
+        assert_eq!(compiled.toggles_per_net(), structural.toggles().to_vec());
+    }
+
+    #[test]
+    fn common_subexpressions_share_one_op() {
+        let mut n = Netlist::new("cse");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let x1 = n.and2(a, b);
+        let x2 = n.and2(b, a); // commutatively identical
+        let x3 = n.and2(a, b); // literally identical
+        let y = n.xor2(x1, x2); // == const0 after sharing
+        n.set_output_bus("y", vec![x3, y]);
+        let program = CompiledNetlist::compile(&n);
+        assert_eq!(program.op_count(), 1);
+        assert_eq!(program.slot_of(x2), program.slot_of(x1));
+        assert_eq!(program.slot_of(x3), program.slot_of(x1));
+        assert_eq!(program.slot_of(y), SLOT_CONST0 as usize);
+        // Shared nets still count toggles like the structural engines.
+        let mut compiled = CompiledSim::new(&program);
+        let mut structural = BitParallelSim::new(&n);
+        for word in [[0u64, 0], [u64::MAX, 0b1010], [0b1100, 0b0110]] {
+            compiled.apply(&word);
+            structural.apply(&word);
+        }
+        assert_eq!(compiled.toggles_per_net(), structural.toggles().to_vec());
+    }
+
+    #[test]
+    fn mux_folds_constant_selects_and_data() {
+        let mut n = Netlist::new("muxfold");
+        let sel = n.add_input("sel");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let one = n.const1();
+        let zero = n.const0();
+        let pick_a = n.mux2(zero, a, b); // sel=0 -> a
+        let pick_b = n.mux2(one, a, b); // sel=1 -> b
+        let ident = n.mux2(sel, zero, one); // == sel
+        let inv = n.mux2(sel, one, zero); // == NOT sel
+        let gate_and = n.mux2(sel, zero, b); // == AND(sel, b)
+        let gate_or = n.mux2(sel, a, one); // == OR(sel, a)
+        let same = n.mux2(sel, a, a); // == a
+        n.set_output_bus(
+            "y",
+            vec![pick_a, pick_b, ident, inv, gate_and, gate_or, same],
+        );
+        let program = CompiledNetlist::compile(&n);
+        assert_eq!(program.slot_of(pick_a), program.slot_of(a));
+        assert_eq!(program.slot_of(pick_b), program.slot_of(b));
+        assert_eq!(program.slot_of(ident), program.slot_of(sel));
+        assert_eq!(program.slot_of(same), program.slot_of(a));
+        // NOT sel, AND(sel,b), OR(sel,a) survive as rewritten ops.
+        assert_eq!(program.op_count(), 3);
+        let mut compiled = CompiledSim::new(&program);
+        let mut structural = BitParallelSim::new(&n);
+        let mut rng = SplitMix64::new(0xB0);
+        for _ in 0..8 {
+            let stimulus: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
+            compiled.apply(&stimulus);
+            structural.apply(&stimulus);
+        }
+        for gate in n.gates() {
+            let id = gate.output;
+            let mut plane = 0u64;
+            for lane in 0..64 {
+                plane |= u64::from(structural.lane_value(id, lane)) << lane;
+            }
+            assert_eq!(compiled.plane(id), plane, "net {id}");
+        }
+        assert_eq!(compiled.toggles_per_net(), structural.toggles().to_vec());
+    }
+
+    #[test]
+    fn levels_are_topological() {
+        let n = adder(8);
+        let program = CompiledNetlist::compile(&n);
+        assert_eq!(program.op_levels().len(), program.op_count());
+        // Every op's sources sit at strictly lower levels.
+        let mut slot_level = vec![0u32; program.slot_count()];
+        for i in 0..program.op_count() {
+            let lvl = program.op_levels()[i];
+            for s in [program.src0[i], program.src1[i], program.src2[i]] {
+                assert!(slot_level[s as usize] < lvl, "op {i}");
+            }
+            slot_level[program.dst[i] as usize] = lvl;
+        }
+        // A ripple adder's carry chain makes the depth at least its width.
+        assert!(program.max_level() >= 8);
     }
 
     #[test]

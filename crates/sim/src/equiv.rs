@@ -176,6 +176,102 @@ pub fn check_exhaustive_with_engine(
     }
 }
 
+/// [`check_exhaustive_with_engine`] with a **64-lane block model**: the
+/// model side produces the products of `(a, b0), …, (a, b0 + 63)` in one
+/// call instead of being asked pair by pair. Built for bit-sliced model
+/// twins (`sdlc-core::batch`): at 10+ bits the per-pair scalar model call
+/// dominates the compiled netlist sweep, and batching it is what raises
+/// the practical exhaustive-equivalence ceiling to 12 bits.
+///
+/// Both engines sweep the identical row-major pair order (the scalar
+/// engine consumes the same block model lane by lane), so verdicts and
+/// the first reported counterexample are bit-identical to the per-pair
+/// checks.
+///
+/// # Errors
+///
+/// Returns the first [`Mismatch`] found.
+///
+/// # Panics
+///
+/// Panics if `width > 16` (the sweep would not terminate reasonably);
+/// the scalar fallback additionally panics if the `p` bus exceeds 64
+/// bits (lane products must fit one `u64` — the compiled path falls
+/// back to scalar for such netlists and hits the same check).
+pub fn check_exhaustive_batched(
+    netlist: &Netlist,
+    width: u32,
+    block_model: impl Fn(u64, u64, &mut [u64; bitplane::LANES]) + Sync,
+    engine: Engine,
+) -> Result<(), Box<Mismatch>> {
+    assert!(
+        width <= 16,
+        "exhaustive equivalence beyond 16 bits is impractical"
+    );
+    let count = 1u64 << width;
+    let check_block = |a: u64, b0: u64, valid: usize, got: &[u64; bitplane::LANES]| {
+        let mut expect = [0u64; bitplane::LANES];
+        block_model(a, b0, &mut expect);
+        for i in 0..valid {
+            if got[i] != expect[i] {
+                return Some(Box::new(Mismatch {
+                    a: u128::from(a),
+                    b: u128::from(b0 + i as u64),
+                    netlist_product: U256::from_u128(u128::from(got[i])),
+                    model_product: U256::from_u128(u128::from(expect[i])),
+                }));
+            }
+        }
+        None
+    };
+    let found = match engine {
+        Engine::Compiled if compiled_supports(netlist, width) => {
+            exhaustive_walk_compiled_blocks(netlist, count, check_block)
+        }
+        _ => {
+            // Scalar netlist walk, same block-model consumption order.
+            let mut sim = LogicSim::new(netlist);
+            let mut found = None;
+            'rows: for a in 0..count {
+                let mut b0 = 0u64;
+                while b0 < count {
+                    let valid = (count - b0).min(bitplane::LANES as u64) as usize;
+                    let mut got = [0u64; bitplane::LANES];
+                    for (i, lane) in got.iter_mut().enumerate().take(valid) {
+                        sim.apply(&ab_stimulus(
+                            netlist,
+                            u128::from(a),
+                            u128::from(b0 + i as u64),
+                        ));
+                        *lane = read_product_u64(&sim, netlist);
+                    }
+                    if let Some(err) = check_block(a, b0, valid, &got) {
+                        found = Some(err);
+                        break 'rows;
+                    }
+                    b0 += bitplane::LANES as u64;
+                }
+            }
+            found
+        }
+    };
+    match found {
+        Some(mismatch) => Err(mismatch),
+        None => Ok(()),
+    }
+}
+
+/// Reads the `p` output bus of a scalar sweep as a raw `u64` pattern (the
+/// batched checks' product domain).
+fn read_product_u64(sim: &LogicSim<'_>, netlist: &Netlist) -> u64 {
+    let bits = netlist.bus("p").expect("output bus `p`");
+    assert!(bits.len() <= 64, "batched checks need products <= 64 bits");
+    bits.iter()
+        .enumerate()
+        .map(|(i, net)| u64::from(sim.value(*net)) << i)
+        .sum()
+}
+
 /// Checks `samples` seeded random operand pairs plus the corner cases
 /// (0, 1, all-ones in each position).
 ///
@@ -418,6 +514,27 @@ fn exhaustive_walk_compiled<E: Send>(
     count: u64,
     check_pair: impl Fn(u64, u64, u64) -> Option<Box<E>> + Sync,
 ) -> Option<Box<E>> {
+    exhaustive_walk_compiled_blocks(netlist, count, |a, b0, valid, lanes| {
+        for (i, &got) in lanes.iter().enumerate().take(valid) {
+            if let Some(err) = check_pair(a, b0 + i as u64, got) {
+                return Some(err);
+            }
+        }
+        None
+    })
+}
+
+/// The block form of the compiled exhaustive sweep: `check_block(a, b0,
+/// valid, product_lanes)` receives one whole 64-lane block per call (lane
+/// `i` is the netlist's raw product for `(a, b0 + i)`; only the first
+/// `valid` lanes are meaningful). Blocks arrive in exact row-major scalar
+/// order within each chunk, chunks merge in order — same
+/// first-counterexample guarantee as the per-pair walk.
+fn exhaustive_walk_compiled_blocks<E: Send>(
+    netlist: &Netlist,
+    count: u64,
+    check_block: impl Fn(u64, u64, usize, &[u64; bitplane::LANES]) -> Option<Box<E>> + Sync,
+) -> Option<Box<E>> {
     let program = CompiledNetlist::compile(netlist);
     let ports = AbPorts::of(netlist);
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -436,10 +553,8 @@ fn exhaustive_walk_compiled<E: Send>(
                 sim.evaluate(&stimulus);
                 ports.product_lanes(&sim, &mut lanes);
                 let valid = (count - b0).min(bitplane::LANES as u64) as usize;
-                for (i, &got) in lanes.iter().enumerate().take(valid) {
-                    if let Some(err) = check_pair(a, b0 + i as u64, got) {
-                        return Some(err);
-                    }
+                if let Some(err) = check_block(a, b0, valid, &lanes) {
+                    return Some(err);
                 }
                 b0 += bitplane::LANES as u64;
             }
@@ -785,6 +900,34 @@ mod tests {
             Engine::Compiled,
         )
         .unwrap();
+    }
+
+    #[test]
+    fn batched_checks_match_per_pair_checks() {
+        let n = wallace_multiplier(4);
+        let exact_block = |a: u64, b0: u64, out: &mut [u64; bitplane::LANES]| {
+            for (i, lane) in out.iter_mut().enumerate() {
+                // 4-bit sweep: only the 16 valid lanes are compared.
+                *lane = a * ((b0 + i as u64) & 0xF);
+            }
+        };
+        for engine in [Engine::Scalar, Engine::Compiled] {
+            check_exhaustive_batched(&n, 4, exact_block, engine).unwrap();
+        }
+        // A planted stripe bug surfaces as the same first counterexample
+        // on both engines — and as the per-pair scalar reference reports.
+        let wrong_block = |a: u64, b0: u64, out: &mut [u64; bitplane::LANES]| {
+            exact_block(a, b0, out);
+            for (i, lane) in out.iter_mut().enumerate() {
+                if a == 5 && b0 + i as u64 >= 9 {
+                    *lane ^= 1;
+                }
+            }
+        };
+        let scalar = check_exhaustive_batched(&n, 4, wrong_block, Engine::Scalar).unwrap_err();
+        let compiled = check_exhaustive_batched(&n, 4, wrong_block, Engine::Compiled).unwrap_err();
+        assert_eq!(scalar, compiled);
+        assert_eq!((scalar.a, scalar.b), (5, 9));
     }
 
     #[test]

@@ -16,22 +16,38 @@
 //!   delays from `sdlc-techlib`; observes *glitches* (spurious transitions
 //!   inside a cycle) that zero-delay simulation cannot, and reports settle
 //!   times that cross-check static timing analysis.
+//! * [`TimedProgram`]/[`GlitchSim`] — the compiled timing twin: 64
+//!   independent stimulus streams through one shared event wheel, an
+//!   exact per-lane emulation of [`TimingSim`]'s inertial-delay
+//!   transition accounting (same delays, same quantization, same event
+//!   order) at a fraction of the cost.
+//!
+//! A compiled program can also run its sweeps *levelized across worker
+//! threads* ([`CompiledNetlist::run_leveled`]): ops on one topological
+//! level shard across a persistent spin-barrier team, so a single large
+//! netlist with inherently serial sweeps scales across cores too.
 //!
 //! [`activity`] drives the zero-delay engines over seeded random vector
 //! streams and aggregates per-net toggle statistics for the power model in
-//! `sdlc-synth`; [`equiv`] checks netlists against functional models, with
+//! `sdlc-synth` (and the glitch-aware equivalents through the timing
+//! engines); [`equiv`] checks netlists against functional models, with
 //! an [`Engine`] selector between the scalar reference and the compiled
-//! word-parallel, multi-threaded sweep.
+//! word-parallel, multi-threaded sweep (model side optionally batched
+//! 64 pairs per call via `check_exhaustive_batched`).
 
 pub mod activity;
 mod compile;
 pub mod equiv;
+mod glitch;
+mod leveled;
 mod logic;
 mod parallel;
 mod timing;
 
 pub use compile::{CompiledNetlist, CompiledSim};
 pub use equiv::Engine;
+pub use glitch::{GlitchSim, TimedProgram};
+pub use leveled::LeveledSim;
 pub use logic::{ab_stimulus, LogicSim};
 pub use parallel::BitParallelSim;
 pub use timing::{ApplyResult, TimingSim};

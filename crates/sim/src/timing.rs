@@ -6,6 +6,14 @@ use std::collections::BinaryHeap;
 use sdlc_netlist::{GateKind, NetId, Netlist};
 use sdlc_techlib::Library;
 
+/// Fixed-point time quantum of the event queue: 1/1024 ps. Both timing
+/// engines (this one and the compiled glitch engine) quantize gate delays
+/// through this one function so their event arithmetic is identical.
+#[inline]
+pub(crate) fn to_fixed_ps(ps: f64) -> u64 {
+    (ps * 1024.0).round() as u64
+}
+
 /// Result of settling one input transition in the timing simulator.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ApplyResult {
@@ -47,18 +55,10 @@ impl<'n> TimingSim<'n> {
                 fanout[input.index()].push(i);
             }
         }
-        let gate_delay_ps: Vec<f64> = netlist
-            .gates()
-            .iter()
-            .map(|gate| {
-                let kinds: Vec<GateKind> = fanout[gate.output.index()]
-                    .iter()
-                    .map(|&g| netlist.gates()[g].kind)
-                    .collect();
-                let load = library.load_ff(&kinds);
-                library.cell(gate.kind).delay_ps(load)
-            })
-            .collect();
+        // Shared delay model: the compiled glitch engine reads the same
+        // per-gate table, which is what keeps its event times bit-identical
+        // to this engine's.
+        let gate_delay_ps = library.gate_delays_ps(netlist);
         Self {
             netlist,
             gate_delay_ps,
@@ -107,7 +107,7 @@ impl<'n> TimingSim<'n> {
         // (time, gate index, new value) — min-heap on time, then gate order
         // for determinism.
         let mut queue: BinaryHeap<Reverse<(u64, usize, bool)>> = BinaryHeap::new();
-        let to_fixed = |ps: f64| -> u64 { (ps * 1024.0).round() as u64 };
+        let to_fixed = to_fixed_ps;
 
         let mut transitions = 0u64;
         let mut last_ps = 0.0f64;

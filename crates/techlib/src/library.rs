@@ -137,6 +137,32 @@ impl Library {
             .map(|&k| self.cell(k).input_cap_ff + self.wire_cap_per_fanout_ff)
             .sum()
     }
+
+    /// Load-dependent propagation delay of every gate in the netlist, in
+    /// gate order: `delay(kind, Σ fanout pin caps + wire)` with fanout
+    /// loads summed in gate order.
+    ///
+    /// This is the *shared* delay model of the timing engines: the scalar
+    /// event-driven simulator and the compiled glitch engine both read
+    /// their per-gate delays from here, so their event times can never
+    /// diverge (the float summation order is part of the contract).
+    #[must_use]
+    pub fn gate_delays_ps(&self, netlist: &sdlc_netlist::Netlist) -> Vec<f64> {
+        let mut fanout_kinds: Vec<Vec<GateKind>> = vec![Vec::new(); netlist.net_count()];
+        for gate in netlist.gates() {
+            for &input in &gate.inputs {
+                fanout_kinds[input.index()].push(gate.kind);
+            }
+        }
+        netlist
+            .gates()
+            .iter()
+            .map(|gate| {
+                let load = self.load_ff(&fanout_kinds[gate.output.index()]);
+                self.cell(gate.kind).delay_ps(load)
+            })
+            .collect()
+    }
 }
 
 impl Default for Library {
@@ -203,6 +229,28 @@ mod tests {
     fn default_is_generic90() {
         assert_eq!(Library::default(), Library::generic_90nm());
         assert_eq!(Library::default().name(), "generic90");
+    }
+
+    #[test]
+    fn gate_delays_follow_the_load_model() {
+        let lib = Library::generic_90nm();
+        let mut n = sdlc_netlist::Netlist::new("chain");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let x = n.and2(a, b); // drives two XORs
+        let y1 = n.xor2(x, a);
+        let y2 = n.xor2(x, b);
+        n.set_output_bus("p", vec![y1, y2]);
+        let delays = lib.gate_delays_ps(&n);
+        assert_eq!(delays.len(), n.gates().len());
+        // The AND drives two XOR pins plus wire; hand-compute its delay.
+        let and = lib.cell(GateKind::And2);
+        let load = lib.load_ff(&[GateKind::Xor2, GateKind::Xor2]);
+        assert_eq!(delays[x.index()], and.delay_ps(load));
+        // Primary inputs are free cells: zero intrinsic, zero drive.
+        assert_eq!(delays[a.index()], 0.0);
+        // Unloaded outputs still pay the intrinsic delay.
+        assert_eq!(delays[y1.index()], lib.cell(GateKind::Xor2).delay_ps(0.0));
     }
 
     #[test]

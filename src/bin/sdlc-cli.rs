@@ -26,7 +26,9 @@ use sdlc::core::error::{
     sampled_signed_with_engine, sampled_with_engine, Engine, BITSLICED_EXHAUSTIVE_WIDTH_LIMIT,
 };
 use sdlc::core::matrix::ReducedMatrix;
-use sdlc::core::{ClusterVariant, Multiplier, SdlcMultiplier, SignMagnitude, SignedMultiplier};
+use sdlc::core::{
+    Batchable, ClusterVariant, Multiplier, SdlcMultiplier, SignMagnitude, SignedMultiplier,
+};
 use sdlc::imgproc::{psnr, scenes, scharr_magnitude, sobel_magnitude, write_pgm};
 use sdlc::netlist::{passes, to_verilog};
 use sdlc::synth::{analyze, AnalysisOptions};
@@ -54,7 +56,11 @@ OPTIONS:
   --depth D        uniform cluster depth (default 2)
   --depths A,B,..  heterogeneous cluster depths (sum = width)
   --variant V      prog | ceiltails | pairtails | fullor (default prog)
-  --scheme S       ripple | csa | wallace | dadda (default ripple)
+  --scheme S       ripple | csa | wallace | dadda (default ripple);
+                   `verify` also accepts `all` to sweep every scheme in
+                   one invocation
+  --json           `verify` only: machine-readable JSON report on stdout
+                   (one result record per scheme, for CI dashboards)
   --engine E       errors: scalar | bitsliced (default scalar) —
                    bitsliced packs 64 multiplications into word-wide
                    bit-plane ops, exhaustive up to 20 bits (2^40 pairs);
@@ -84,6 +90,10 @@ struct Options {
     /// engine domain (`errors`: scalar/bitsliced model engines,
     /// `verify`: scalar/compiled netlist engines).
     engine: Option<String>,
+    /// `--scheme all`: sweep every reduction scheme (verify only).
+    scheme_all: bool,
+    /// `--json`: machine-readable verify output.
+    json: bool,
     signed: bool,
     samples: Option<u64>,
     size: (u32, u32),
@@ -100,6 +110,8 @@ impl Default for Options {
             variant: ClusterVariant::Progressive,
             scheme: ReductionScheme::RippleRows,
             engine: None,
+            scheme_all: false,
+            json: false,
             signed: false,
             samples: None,
             size: (200, 200),
@@ -155,9 +167,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     "csa" => ReductionScheme::CarrySaveArray,
                     "wallace" => ReductionScheme::Wallace,
                     "dadda" => ReductionScheme::Dadda,
+                    "all" => {
+                        options.scheme_all = true;
+                        ReductionScheme::RippleRows
+                    }
                     other => return Err(format!("unknown scheme {other:?}")),
                 };
             }
+            "--json" => options.json = true,
             "--engine" => {
                 options.engine = Some(value()?);
             }
@@ -204,6 +221,22 @@ fn reject_engine(options: &Options, command: &str) -> Result<(), String> {
     }
 }
 
+/// Flags only `verify` interprets must not be silently swallowed by a
+/// command that would ignore them.
+fn reject_verify_flags(options: &Options, command: &str) -> Result<(), String> {
+    if options.scheme_all {
+        return Err(format!(
+            "--scheme all is only supported by `verify`; `{command}` needs one concrete scheme"
+        ));
+    }
+    if options.json {
+        return Err(format!(
+            "--json is only supported by `verify`, not `{command}`"
+        ));
+    }
+    Ok(())
+}
+
 fn build_model(options: &Options, width: u32) -> Result<SdlcMultiplier, String> {
     let model = match &options.depths {
         Some(depths) => SdlcMultiplier::with_group_depths(width, depths),
@@ -213,6 +246,7 @@ fn build_model(options: &Options, width: u32) -> Result<SdlcMultiplier, String> 
 }
 
 fn cmd_errors(options: &Options) -> Result<(), String> {
+    reject_verify_flags(options, "errors")?;
     let width = options.width("errors");
     let model = build_model(options, width)?;
     let engine: Engine = options.engine.as_deref().unwrap_or("scalar").parse()?;
@@ -267,63 +301,172 @@ fn cmd_errors(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// One scheme's verify outcome, for the text and JSON renderers.
+struct VerifyRecord {
+    design: String,
+    scheme: &'static str,
+    coverage: String,
+    /// `Ok(pair count)` or the first counterexample, pre-formatted.
+    outcome: Result<u64, String>,
+}
+
+/// Escapes a string for embedding in a JSON literal (the report values
+/// are ASCII design names and operand lists; quotes/backslashes only for
+/// robustness).
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render_verify_json(options: &Options, width: u32, engine: &str, records: &[VerifyRecord]) {
+    let results: Vec<String> = records
+        .iter()
+        .map(|r| {
+            let (status, extra) = match &r.outcome {
+                Ok(pairs) => ("ok".to_string(), format!("\"pairs\":{pairs}")),
+                Err(mismatch) => (
+                    "mismatch".to_string(),
+                    format!("\"counterexample\":\"{}\"", json_escape(mismatch)),
+                ),
+            };
+            format!(
+                "{{\"design\":\"{}\",\"scheme\":\"{}\",\"coverage\":\"{}\",\"status\":\"{status}\",{extra}}}",
+                json_escape(&r.design),
+                r.scheme,
+                json_escape(&r.coverage),
+            )
+        })
+        .collect();
+    println!(
+        "{{\"command\":\"verify\",\"width\":{width},\"signed\":{},\"engine\":\"{engine}\",\"results\":[{}]}}",
+        options.signed,
+        results.join(",")
+    );
+}
+
 fn cmd_verify(options: &Options) -> Result<(), String> {
     let width = options.width("verify");
     let engine: sdlc::sim::Engine = options.engine.as_deref().unwrap_or("compiled").parse()?;
     let samples = options.samples.unwrap_or(2048);
     let model = build_model(options, width)?;
-    let mut netlist = sdlc_multiplier(&model, options.scheme);
-    if options.signed {
-        netlist = sdlc::core::circuits::signed_multiplier(&netlist, width);
-    }
-    // The compiled engine packs 64 vectors per netlist sweep and shards
-    // rows across cores, which moves the practical exhaustive ceiling
-    // from 8 to 10 bits; above the ceiling, seeded sampling plus the
-    // corner patterns.
-    let cutoff = match engine {
-        sdlc::sim::Engine::Scalar => 8,
-        sdlc::sim::Engine::Compiled => 10,
-    };
-    println!(
-        "verifying {} against its functional model (engine {engine})",
-        netlist.name()
-    );
-    let coverage = if options.signed {
-        let signed = SignMagnitude::new(model);
-        let reference = |a: i128, b: i128| signed.multiply_signed(a, b);
-        if width <= cutoff {
-            sdlc::sim::equiv::check_exhaustive_signed_with_engine(
-                &netlist, width, reference, engine,
-            )
-            .map_err(|e| format!("equivalence FAILED: {e}"))?;
-            format!("exhaustive, {} signed operand pairs", 1u64 << (2 * width))
-        } else {
-            sdlc::sim::equiv::check_sampled_signed_with_engine(
-                &netlist, width, samples, 0x5D1C, reference, engine,
-            )
-            .map_err(|e| format!("equivalence FAILED: {e}"))?;
-            format!("sampled, 25 signed corners + {samples} seeded pairs")
-        }
+    let schemes: &[ReductionScheme] = if options.scheme_all {
+        &[
+            ReductionScheme::RippleRows,
+            ReductionScheme::CarrySaveArray,
+            ReductionScheme::Wallace,
+            ReductionScheme::Dadda,
+        ]
     } else {
-        let reference = |a: u128, b: u128| model.multiply(a, b);
-        if width <= cutoff {
-            sdlc::sim::equiv::check_exhaustive_with_engine(&netlist, width, reference, engine)
-                .map_err(|e| format!("equivalence FAILED: {e}"))?;
-            format!("exhaustive, {} operand pairs", 1u64 << (2 * width))
-        } else {
-            sdlc::sim::equiv::check_sampled_with_engine(
-                &netlist, width, samples, 0x5D1C, reference, engine,
-            )
-            .map_err(|e| format!("equivalence FAILED: {e}"))?;
-            format!("sampled, 9 corners + {samples} seeded pairs")
-        }
+        core::slice::from_ref(&options.scheme)
     };
-    println!("OK: netlist matches model ({coverage})");
+    // The compiled engine packs 64 vectors per netlist sweep and shards
+    // rows across cores; batching the model side through its bit-sliced
+    // twin lifts the practical exhaustive ceiling from 8 (scalar) to 12
+    // bits unsigned (10 signed — the signed model has no batched
+    // exhaustive path yet). Above the ceiling, seeded sampling plus the
+    // corner patterns.
+    let cutoff = match (engine, options.signed) {
+        (sdlc::sim::Engine::Scalar, _) => 8,
+        (sdlc::sim::Engine::Compiled, true) => 10,
+        (sdlc::sim::Engine::Compiled, false) => 12,
+    };
+    let mut records = Vec::new();
+    for &scheme in schemes {
+        let mut netlist = sdlc_multiplier(&model, scheme);
+        if options.signed {
+            netlist = sdlc::core::circuits::signed_multiplier(&netlist, width);
+        }
+        if !options.json {
+            println!(
+                "verifying {} against its functional model (engine {engine})",
+                netlist.name()
+            );
+        }
+        let exhaustive = width <= cutoff;
+        let pairs = if exhaustive {
+            1u64 << (2 * width)
+        } else {
+            9 + samples
+        };
+        let coverage = if exhaustive {
+            format!(
+                "exhaustive, {} {}operand pairs",
+                1u64 << (2 * width),
+                if options.signed { "signed " } else { "" }
+            )
+        } else if options.signed {
+            format!("sampled, 25 signed corners + {samples} seeded pairs")
+        } else {
+            format!("sampled, 9 corners + {samples} seeded pairs")
+        };
+        let outcome: Result<(), String> = if options.signed {
+            let signed = SignMagnitude::new(model.clone());
+            let reference = |a: i128, b: i128| signed.multiply_signed(a, b);
+            if exhaustive {
+                sdlc::sim::equiv::check_exhaustive_signed_with_engine(
+                    &netlist, width, reference, engine,
+                )
+                .map_err(|e| e.to_string())
+            } else {
+                sdlc::sim::equiv::check_sampled_signed_with_engine(
+                    &netlist, width, samples, 0x5D1C, reference, engine,
+                )
+                .map_err(|e| e.to_string())
+            }
+        } else if exhaustive && engine == sdlc::sim::Engine::Compiled {
+            // Batched model side: one bit-sliced call per 64 consecutive
+            // operand pairs instead of 64 scalar model calls.
+            let batch = model.batch_model();
+            sdlc::sim::equiv::check_exhaustive_batched(
+                &netlist,
+                width,
+                |a, b0, out| sdlc::core::batch::exhaustive_block(&batch, a, b0, out),
+                engine,
+            )
+            .map_err(|e| e.to_string())
+        } else {
+            let reference = |a: u128, b: u128| model.multiply(a, b);
+            if exhaustive {
+                sdlc::sim::equiv::check_exhaustive_with_engine(&netlist, width, reference, engine)
+                    .map_err(|e| e.to_string())
+            } else {
+                sdlc::sim::equiv::check_sampled_with_engine(
+                    &netlist, width, samples, 0x5D1C, reference, engine,
+                )
+                .map_err(|e| e.to_string())
+            }
+        };
+        if !options.json {
+            match &outcome {
+                Ok(()) => println!("OK: netlist matches model ({coverage})"),
+                Err(e) => return Err(format!("equivalence FAILED: {e}")),
+            }
+        }
+        records.push(VerifyRecord {
+            design: netlist.name().to_string(),
+            scheme: scheme.tag(),
+            coverage,
+            outcome: match outcome {
+                Ok(()) => Ok(pairs),
+                Err(e) => Err(e),
+            },
+        });
+    }
+    if options.json {
+        render_verify_json(options, width, engine.tag(), &records);
+        if let Some(failed) = records.iter().find(|r| r.outcome.is_err()) {
+            return Err(format!(
+                "equivalence FAILED ({}): {}",
+                failed.design,
+                failed.outcome.as_ref().unwrap_err()
+            ));
+        }
+    }
     Ok(())
 }
 
 fn cmd_sobel(options: &Options) -> Result<(), String> {
     reject_engine(options, "sobel")?;
+    reject_verify_flags(options, "sobel")?;
     let width = options.width("sobel");
     if !(10..=32).contains(&width) {
         return Err(format!(
@@ -389,6 +532,7 @@ fn load_library(options: &Options) -> Result<Library, String> {
 
 fn cmd_synth(options: &Options) -> Result<(), String> {
     reject_engine(options, "synth")?;
+    reject_verify_flags(options, "synth")?;
     let width = options.width("synth");
     let model = build_model(options, width)?;
     let lib = load_library(options)?;
@@ -413,6 +557,7 @@ fn cmd_synth(options: &Options) -> Result<(), String> {
 
 fn cmd_verilog(options: &Options) -> Result<(), String> {
     reject_engine(options, "verilog")?;
+    reject_verify_flags(options, "verilog")?;
     let width = options.width("verilog");
     let model = build_model(options, width)?;
     let mut netlist = sdlc_multiplier(&model, options.scheme);
@@ -433,6 +578,7 @@ fn cmd_verilog(options: &Options) -> Result<(), String> {
 
 fn cmd_dot(options: &Options) -> Result<(), String> {
     reject_engine(options, "dot")?;
+    reject_verify_flags(options, "dot")?;
     if options.signed {
         return Err(
             "dot draws the unsigned partial-product matrix; the signed wrapper adds no dots \

@@ -118,6 +118,57 @@ fn verify_checks_netlists_on_both_engines() {
 }
 
 #[test]
+fn verify_sweeps_all_schemes_in_one_invocation() {
+    let (stdout, _, ok) = run(&["verify", "--width", "6", "--scheme", "all"]);
+    assert!(ok, "{stdout}");
+    for scheme in ["ripple", "csa", "wallace", "dadda"] {
+        assert!(stdout.contains(&format!("sdlc6_d2_{scheme}")), "{stdout}");
+    }
+    assert_eq!(stdout.matches("OK: netlist matches model").count(), 4);
+    // Commands that need one concrete scheme reject the sweep.
+    for command in ["synth", "verilog", "dot"] {
+        let (_, stderr, ok) = run(&[command, "--width", "8", "--scheme", "all"]);
+        assert!(!ok, "{command} accepted --scheme all");
+        assert!(
+            stderr.contains("only supported by `verify`"),
+            "{command}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn verify_emits_machine_readable_json() {
+    let (stdout, _, ok) = run(&["verify", "--width", "6", "--scheme", "all", "--json"]);
+    assert!(ok, "{stdout}");
+    // One well-formed top-level object, one result record per scheme.
+    assert!(stdout.starts_with("{\"command\":\"verify\""), "{stdout}");
+    assert!(stdout.contains("\"width\":6"), "{stdout}");
+    assert!(stdout.contains("\"engine\":\"compiled\""), "{stdout}");
+    assert_eq!(stdout.matches("\"status\":\"ok\"").count(), 4);
+    assert_eq!(stdout.matches("\"pairs\":4096").count(), 4);
+    for scheme in ["ripple", "csa", "wallace", "dadda"] {
+        assert!(
+            stdout.contains(&format!("\"scheme\":\"{scheme}\"")),
+            "{stdout}"
+        );
+    }
+    // The human-readable chatter stays off the JSON stream.
+    assert!(!stdout.contains("OK: netlist"), "{stdout}");
+    // Sampled coverage reports its pair budget too.
+    let (stdout, _, ok) = run(&["verify", "--width", "16", "--samples", "200", "--json"]);
+    assert!(ok, "{stdout}");
+    assert!(
+        stdout.contains("\"coverage\":\"sampled, 9 corners + 200 seeded pairs\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"pairs\":209"), "{stdout}");
+    // --json is a verify-only flag.
+    let (_, stderr, ok) = run(&["errors", "--width", "8", "--json"]);
+    assert!(!ok);
+    assert!(stderr.contains("only supported by `verify`"), "{stderr}");
+}
+
+#[test]
 fn verify_rejects_unknown_engines() {
     let (_, stderr, ok) = run(&["verify", "--width", "8", "--engine", "warp"]);
     assert!(!ok);
